@@ -1,0 +1,167 @@
+// Command apollo runs the end-to-end fact-finding pipeline on a tweet
+// stream JSON (as produced by ssgen -kind twitter): cluster tweets into
+// assertions, derive the source-claim matrix and dependency indicators,
+// run a fact-finder, and print the top-ranked assertions. When the input
+// carries ground-truth kinds, it also grades the ranking.
+//
+// Usage:
+//
+//	apollo -in tweets.json [-alg EM-Ext] [-topk 20] [-seed 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"depsense/internal/apollo"
+	"depsense/internal/baselines"
+	"depsense/internal/depgraph"
+	"depsense/internal/factfind"
+	"depsense/internal/grader"
+	reportpkg "depsense/internal/report"
+	"depsense/internal/tweetjson"
+	"depsense/internal/twittersim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "apollo:", err)
+		os.Exit(1)
+	}
+}
+
+type tweetFile struct {
+	Sources int                `json:"sources"`
+	Follows [][2]int           `json:"follows"`
+	Tweets  []twittersim.Tweet `json:"tweets"`
+	Kinds   []twittersim.Kind  `json:"kinds,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("apollo", flag.ContinueOnError)
+	var (
+		input  = fs.String("in", "", "input file (required)")
+		format = fs.String("format", "sim", "input format: sim (ssgen tweet stream) or twitter-json (Twitter API v1.1 archive)")
+		alg    = fs.String("alg", "EM-Ext", "fact-finder: "+strings.Join(algNames(), ", "))
+		topK   = fs.Int("topk", 20, "ranked assertions to print")
+		report = fs.String("report", "", "also write an HTML report to this file")
+		seed   = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" {
+		return fmt.Errorf("-in is required")
+	}
+	finder := pickAlg(*alg, *seed)
+	if finder == nil {
+		return fmt.Errorf("unknown algorithm %q; known: %s", *alg, strings.Join(algNames(), ", "))
+	}
+
+	var (
+		in   apollo.Input
+		file tweetFile
+	)
+	switch *format {
+	case "sim":
+		raw, err := os.ReadFile(*input)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("decode %s: %w", *input, err)
+		}
+		graph := depgraph.NewGraph(file.Sources)
+		for _, e := range file.Follows {
+			if err := graph.AddFollow(e[0], e[1]); err != nil {
+				return err
+			}
+		}
+		msgs := make([]apollo.Message, len(file.Tweets))
+		for i, t := range file.Tweets {
+			msgs[i] = apollo.Message{Source: t.Source, Time: int64(t.ID), Text: t.Text}
+		}
+		in = apollo.Input{NumSources: file.Sources, Messages: msgs, Graph: graph}
+	case "twitter-json":
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tweets, err := tweetjson.Parse(f)
+		if err != nil {
+			return err
+		}
+		in, _, err = tweetjson.ToPipeline(tweets)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -format %q", *format)
+	}
+
+	pipe, err := apollo.Run(in, finder, apollo.Options{TopK: *topK})
+	if err != nil {
+		return err
+	}
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := reportpkg.Render(f, reportpkg.Input{
+			Title:     "Fact-finding report: " + *input,
+			Algorithm: finder.Name(),
+			Pipeline:  pipe,
+		}); err != nil {
+			return fmt.Errorf("render report: %w", err)
+		}
+		fmt.Fprintln(out, "report written to", *report)
+	}
+
+	fmt.Fprintf(out, "pipeline: %s | %s\n", finder.Name(), pipe.Dataset.Summarize())
+	var labels []twittersim.Kind
+	if len(file.Kinds) > 0 {
+		labels, err = grader.Grade(pipe.MessageAssertion, file.Tweets, file.Kinds)
+		if err != nil {
+			return err
+		}
+		score, err := grader.ScoreTopK(pipe.Ranked, labels)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "graded top-%d: accuracy=%.3f (True=%d False=%d Opinion=%d)\n",
+			len(pipe.Ranked), score.Accuracy(), score.True, score.False, score.Opinion)
+	}
+	fmt.Fprintln(out)
+	for rank, c := range pipe.Ranked {
+		label := ""
+		if labels != nil {
+			label = " [" + labels[c].String() + "]"
+		}
+		fmt.Fprintf(out, "%3d. p=%.4f%s %s\n", rank+1, pipe.Result.Posterior[c], label, pipe.RepresentativeText[c])
+	}
+	return nil
+}
+
+func algNames() []string {
+	names := make([]string, 0, 7)
+	for _, a := range baselines.All(0) {
+		names = append(names, a.Name())
+	}
+	return names
+}
+
+func pickAlg(name string, seed int64) factfind.FactFinder {
+	for _, a := range baselines.All(seed) {
+		if strings.EqualFold(a.Name(), name) {
+			return a
+		}
+	}
+	return nil
+}

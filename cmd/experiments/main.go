@@ -1,0 +1,248 @@
+// Command experiments reproduces every table and figure of the paper's
+// evaluation section. Each experiment prints the same rows or series the
+// paper reports; EXPERIMENTS.md records a full run next to the paper's
+// numbers.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table3|fig11|extdepth]
+//	            [-quick] [-seed N] [-runs N] [-estruns N] [-scale N] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"depsense/internal/eval"
+	"depsense/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment id: all, table1, fig3..fig11, table3, extdepth, extsybil")
+		quick   = fs.Bool("quick", false, "reduced-scale smoke run")
+		seed    = fs.Int64("seed", 1, "base random seed")
+		runs    = fs.Int("runs", 0, "override bound-experiment repetitions (paper: 20)")
+		estRuns = fs.Int("estruns", 0, "override estimator repetitions (paper: 300)")
+		scale   = fs.Int("scale", 0, "override empirical volume divisor (1 = Table III scale)")
+		csvDir  = fs.String("csv", "", "also write each experiment's series as CSV into this directory")
+		svgDir  = fs.String("svg", "", "also render each figure as SVG into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := eval.DefaultConfig()
+	if *quick {
+		cfg = eval.QuickConfig()
+	}
+	cfg.Seed = *seed
+	if *runs > 0 {
+		cfg.BoundRuns = *runs
+	}
+	if *estRuns > 0 {
+		cfg.EstimatorRuns = *estRuns
+	}
+	if *scale > 0 {
+		cfg.EmpiricalScale = *scale
+	}
+
+	for _, dir := range []string{*csvDir, *svgDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+	writeFile := func(dir, name string, emit func(io.Writer) error) error {
+		if dir == "" {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return emit(f)
+	}
+	writeCSV := func(id string, emit func(io.Writer) error) error {
+		return writeFile(*csvDir, id+".csv", emit)
+	}
+	writeSVG := func(id string, chart *plot.Chart) error {
+		return writeFile(*svgDir, id+".svg", chart.RenderSVG)
+	}
+
+	selected := strings.Split(strings.ToLower(*exp), ",")
+	want := func(id string) bool {
+		for _, s := range selected {
+			if s == "all" || s == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	section := func(id string, fn func() error) error {
+		if !want(id) {
+			return nil
+		}
+		start := time.Now()
+		fmt.Fprintf(out, "==== %s ====\n", id)
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintf(out, "(%s took %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if err := section("table1", func() error {
+		r, err := eval.TableI()
+		if err != nil {
+			return err
+		}
+		return r.Render(out)
+	}); err != nil {
+		return err
+	}
+
+	var fig3 eval.BoundSeries
+	if err := section("fig3", func() error {
+		var err error
+		fig3, err = eval.Fig3BoundVsSources(cfg)
+		if err != nil {
+			return err
+		}
+		if err := writeCSV("fig3", fig3.WriteCSV); err != nil {
+			return err
+		}
+		if err := writeSVG("fig3", fig3.Chart()); err != nil {
+			return err
+		}
+		return fig3.Render(out)
+	}); err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		id string
+		fn func(eval.Config) (eval.BoundSeries, error)
+	}{
+		{"fig4", eval.Fig4BoundVsTrees},
+		{"fig5", eval.Fig5BoundVsOdds},
+	} {
+		f := f
+		if err := section(f.id, func() error {
+			s, err := f.fn(cfg)
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(f.id, s.WriteCSV); err != nil {
+				return err
+			}
+			if err := writeSVG(f.id, s.Chart()); err != nil {
+				return err
+			}
+			return s.Render(out)
+		}); err != nil {
+			return err
+		}
+	}
+	if err := section("fig6", func() error {
+		if fig3.Points == nil {
+			var err error
+			fig3, err = eval.Fig3BoundVsSources(cfg)
+			if err != nil {
+				return err
+			}
+		}
+		timing := eval.Fig6Timing(fig3)
+		if err := writeCSV("fig6", timing.WriteCSV); err != nil {
+			return err
+		}
+		if err := writeSVG("fig6", timing.TimingChart()); err != nil {
+			return err
+		}
+		return timing.Render(out)
+	}); err != nil {
+		return err
+	}
+
+	for _, f := range []struct {
+		id string
+		fn func(eval.Config) (eval.EstimatorSeries, error)
+	}{
+		{"fig7", eval.Fig7EstimatorVsSources},
+		{"fig8", eval.Fig8EstimatorVsAssertions},
+		{"fig9", eval.Fig9EstimatorVsTrees},
+		{"fig10", eval.Fig10EstimatorVsOdds},
+		{"extdepth", eval.ExtDepthEstimators},
+	} {
+		f := f
+		if err := section(f.id, func() error {
+			s, err := f.fn(cfg)
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(f.id, s.WriteCSV); err != nil {
+				return err
+			}
+			if err := writeSVG(f.id, s.Chart()); err != nil {
+				return err
+			}
+			return s.Render(out)
+		}); err != nil {
+			return err
+		}
+	}
+
+	if err := section("extsybil", func() error {
+		r, err := eval.ExtSybilAttack(cfg)
+		if err != nil {
+			return err
+		}
+		return r.Render(out)
+	}); err != nil {
+		return err
+	}
+
+	if want("table3") || want("fig11") {
+		start := time.Now()
+		emp, err := eval.Empirical(cfg)
+		if err != nil {
+			return fmt.Errorf("empirical: %w", err)
+		}
+		if want("table3") {
+			fmt.Fprintln(out, "==== table3 ====")
+			if err := emp.RenderTableIII(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		if want("fig11") {
+			fmt.Fprintln(out, "==== fig11 ====")
+			if err := writeCSV("fig11", emp.WriteCSV); err != nil {
+				return err
+			}
+			if err := writeSVG("fig11", emp.Chart()); err != nil {
+				return err
+			}
+			if err := emp.RenderFig11(out); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "(empirical took %s)\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTableI(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "table1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0.26980433") {
+		t.Fatalf("table1 output missing paper value:\n%s", sb.String())
+	}
+}
+
+func TestRunQuickFig4(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-exp", "fig4", "-runs", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig 4") || !strings.Contains(out, "tau") {
+		t.Fatalf("fig4 output malformed:\n%s", out)
+	}
+}
+
+func TestRunQuickFig9(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-exp", "fig9", "-estruns", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "EM-Ext") {
+		t.Fatalf("fig9 output missing algorithms:\n%s", sb.String())
+	}
+}
+
+func TestRunSelectsMultiple(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-exp", "table1,fig6", "-runs", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "==== table1 ====") || !strings.Contains(out, "==== fig6 ====") {
+		t.Fatalf("multi-select output malformed:\n%s", out)
+	}
+	if strings.Contains(out, "==== fig9 ====") {
+		t.Fatal("unselected experiment ran")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-exp", "fig6,fig9", "-runs", "1", "-estruns", "2", "-csv", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig6.csv", "fig9.csv"} {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if !strings.Contains(string(raw), ",") {
+			t.Fatalf("%s not CSV:\n%s", name, raw)
+		}
+	}
+}

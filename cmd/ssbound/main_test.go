@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"depsense/internal/model"
+	"depsense/internal/randutil"
+	"depsense/internal/synthetic"
+)
+
+func TestDemoBothMethods(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-demo", "-n", "10", "-method", "both", "-sweeps", "2000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "exact") || !strings.Contains(out, "approx") {
+		t.Fatalf("missing methods:\n%s", out)
+	}
+	if !strings.Contains(out, "Err=0.") {
+		t.Fatalf("missing bound value:\n%s", out)
+	}
+}
+
+func TestDataAndParamsFiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := synthetic.DefaultConfig()
+	cfg.Sources = 8
+	cfg.Trees = synthetic.FixedInt(4)
+	w, err := synthetic.Generate(cfg, randutil.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataPath := filepath.Join(dir, "data.json")
+	df, err := os.Create(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Dataset.WriteTo(df); err != nil {
+		t.Fatal(err)
+	}
+	df.Close()
+
+	paramsPath := filepath.Join(dir, "params.json")
+	raw, err := json.Marshal(w.TrueParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paramsPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-data", dataPath, "-params", paramsPath, "-method", "exact"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "exact") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+	if err := run([]string{"-demo", "-method", "nope"}, &sb); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	// Invalid params file.
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "d.json")
+	paramsPath := filepath.Join(dir, "p.json")
+	cfg := synthetic.DefaultConfig()
+	cfg.Sources = 5
+	cfg.Trees = synthetic.FixedInt(2)
+	w, err := synthetic.Generate(cfg, randutil.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, _ := os.Create(dataPath)
+	_, _ = w.Dataset.WriteTo(df)
+	df.Close()
+	bad := model.NewParams(5, 0.5)
+	bad.Sources[0].A = 7
+	raw, _ := json.Marshal(bad)
+	_ = os.WriteFile(paramsPath, raw, 0o644)
+	if err := run([]string{"-data", dataPath, "-params", paramsPath}, &sb); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

@@ -1,0 +1,120 @@
+// Command ssgen generates datasets: either the paper's synthetic
+// forest-structured claim matrices (Section V-A) as a claims JSON file, or
+// a simulated Twitter stream (tweets JSON) from one of the Table III
+// scenario presets.
+//
+// Usage:
+//
+//	ssgen -kind synthetic [-n 20] [-m 50] [-tau 9] [-seed 1] [-o data.json]
+//	ssgen -kind twitter -scenario Ukraine [-scale 1] [-seed 1] [-o tweets.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"depsense/internal/randutil"
+	"depsense/internal/synthetic"
+	"depsense/internal/twittersim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssgen:", err)
+		os.Exit(1)
+	}
+}
+
+// tweetFile is the on-disk tweet stream format shared with cmd/apollo.
+type tweetFile struct {
+	Sources int                `json:"sources"`
+	Follows [][2]int           `json:"follows"`
+	Tweets  []twittersim.Tweet `json:"tweets"`
+	// Kinds carries ground truth for offline grading (optional).
+	Kinds []twittersim.Kind `json:"kinds,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ssgen", flag.ContinueOnError)
+	var (
+		kind     = fs.String("kind", "synthetic", "synthetic or twitter")
+		n        = fs.Int("n", 20, "synthetic: number of sources")
+		m        = fs.Int("m", 50, "synthetic: number of assertions")
+		tau      = fs.Int("tau", 0, "synthetic: dependency trees (0 = paper default range)")
+		scenario = fs.String("scenario", "Ukraine", "twitter: scenario preset name")
+		config   = fs.String("config", "", "twitter: JSON file with a full twittersim scenario (overrides -scenario)")
+		scale    = fs.Int("scale", 1, "twitter: volume divisor")
+		seed     = fs.Int64("seed", 1, "random seed")
+		output   = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w := out
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	rng := randutil.New(*seed)
+
+	switch *kind {
+	case "synthetic":
+		cfg := synthetic.DefaultConfig()
+		cfg.Sources = *n
+		cfg.Assertions = *m
+		if *tau > 0 {
+			cfg.Trees = synthetic.FixedInt(*tau)
+		} else if cfg.Trees.Hi > *n {
+			cfg.Trees = synthetic.FixedInt((*n + 1) / 2)
+		}
+		world, err := synthetic.Generate(cfg, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "generated:", world.Dataset.Summarize())
+		_, err = world.Dataset.WriteTo(w)
+		return err
+	case "twitter":
+		var sc twittersim.Scenario
+		if *config != "" {
+			raw, err := os.ReadFile(*config)
+			if err != nil {
+				return err
+			}
+			if err := json.Unmarshal(raw, &sc); err != nil {
+				return fmt.Errorf("decode scenario %s: %w", *config, err)
+			}
+		} else {
+			preset, ok := twittersim.Preset(*scenario)
+			if !ok {
+				return fmt.Errorf("unknown scenario %q (try one of the Table III names)", *scenario)
+			}
+			sc = preset
+			if *scale > 1 {
+				sc = twittersim.Small(*scenario, *scale)
+			}
+		}
+		world, err := twittersim.Generate(sc, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "generated: %+v\n", world.Summarize())
+		file := tweetFile{Sources: sc.Sources, Tweets: world.Tweets, Kinds: world.Kinds}
+		for i := 0; i < world.Graph.N(); i++ {
+			for _, anc := range world.Graph.Ancestors(i) {
+				file.Follows = append(file.Follows, [2]int{i, anc})
+			}
+		}
+		enc := json.NewEncoder(w)
+		return enc.Encode(file)
+	default:
+		return fmt.Errorf("unknown -kind %q", *kind)
+	}
+}

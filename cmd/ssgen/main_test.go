@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"depsense/internal/claims"
+	"depsense/internal/twittersim"
+)
+
+func TestGenerateSynthetic(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "data.json")
+	if err := run([]string{"-kind", "synthetic", "-n", "10", "-m", "20", "-tau", "4", "-o", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := claims.ReadDataset(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 10 || ds.M() != 20 {
+		t.Fatalf("dims (%d,%d)", ds.N(), ds.M())
+	}
+	if ds.NumClaims() == 0 {
+		t.Fatal("no claims generated")
+	}
+}
+
+func TestGenerateTwitter(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "tweets.json")
+	if err := run([]string{"-kind", "twitter", "-scenario", "Kirkuk", "-scale", "40", "-o", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file tweetFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Sources == 0 || len(file.Tweets) == 0 || len(file.Kinds) == 0 {
+		t.Fatalf("empty tweet file: sources=%d tweets=%d kinds=%d",
+			file.Sources, len(file.Tweets), len(file.Kinds))
+	}
+}
+
+func TestGenerateSyntheticToStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "synthetic", "-n", "5", "-m", "10"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\"claims\"") {
+		t.Fatal("stdout output missing dataset JSON")
+	}
+}
+
+func TestRejectsUnknownKindAndScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "nope"}, &sb); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := run([]string{"-kind", "twitter", "-scenario", "Atlantis"}, &sb); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestGenerateTwitterFromConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	sc := twittersim.Small("Ukraine", 50)
+	raw, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(cfgPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "tweets.json")
+	if err := run([]string{"-kind", "twitter", "-config", cfgPath, "-o", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	rawOut, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file tweetFile
+	if err := json.Unmarshal(rawOut, &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Tweets) == 0 {
+		t.Fatal("no tweets from config scenario")
+	}
+}

@@ -1,0 +1,83 @@
+// Command ssserve runs the fact-finding pipeline as an HTTP service.
+//
+// Usage:
+//
+//	ssserve [-addr :8080] [-topk 100] [-maxbody 33554432] [-seed 1]
+//
+// Endpoints: GET /healthz, GET /v1/algorithms, POST /v1/factfind (see
+// internal/httpapi for the request schema). The server shuts down
+// gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"depsense/internal/httpapi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ssserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ssserve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		topK    = fs.Int("topk", 100, "default ranked output size")
+		maxBody = fs.Int64("maxbody", 32<<20, "maximum request body bytes")
+		seed    = fs.Int64("seed", 1, "estimator seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	handler := httpapi.New(httpapi.Options{
+		MaxBodyBytes: *maxBody,
+		DefaultTopK:  *topK,
+		Seed:         *seed,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute, // large archives take a while
+		IdleTimeout:       time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintln(os.Stderr, "ssserve: listening on", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		<-errCh // wait for ListenAndServe to return
+		return nil
+	}
+}

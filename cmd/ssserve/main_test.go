@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestListenErrorSurfaces(t *testing.T) {
+	// An unbindable address must make run return promptly with an error
+	// rather than hang.
+	if err := run([]string{"-addr", "256.256.256.256:1"}); err == nil {
+		t.Fatal("unbindable address accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module depsense
+
+go 1.22

@@ -1,0 +1,135 @@
+// Package apollo is the end-to-end fact-finding pipeline modeled on the
+// Apollo tool the paper integrates its estimator into: ingest a raw tweet
+// stream, cluster near-duplicate tweets into assertions, derive the
+// source-claim matrix and dependency indicators from the follow graph and
+// claim timing, run a fact-finder, and rank assertions by credibility.
+package apollo
+
+import (
+	"errors"
+	"fmt"
+
+	"depsense/internal/claims"
+	"depsense/internal/cluster"
+	"depsense/internal/depgraph"
+	"depsense/internal/factfind"
+)
+
+// Message is one raw input item (a tweet).
+type Message struct {
+	// Source is the author id in [0, NumSources).
+	Source int
+	// Time orders messages; only relative order matters.
+	Time int64
+	// Text is the message body; assertions are extracted from it.
+	Text string
+}
+
+// Input is a complete pipeline input.
+type Input struct {
+	// NumSources bounds the source id space.
+	NumSources int
+	// Messages is the raw stream.
+	Messages []Message
+	// Graph is the follow graph among sources (who can see whom). The
+	// pipeline treats it as given; in practice it is constructed from
+	// retweet behaviour.
+	Graph *depgraph.Graph
+}
+
+// Options tunes the pipeline.
+type Options struct {
+	// Clusterer groups tweets into assertions (cluster.Leader or
+	// cluster.MinHash); nil selects a Leader clusterer with default
+	// settings.
+	Clusterer cluster.Clusterer
+	// TopK is the size of the ranked output (default 100, the paper's
+	// evaluation cut-off).
+	TopK int
+}
+
+// Output is the pipeline result.
+type Output struct {
+	// Dataset is the derived source-claim matrix with dependency
+	// indicators; assertion j corresponds to cluster j.
+	Dataset *claims.Dataset
+	// MessageAssertion[i] is the assertion (cluster) id of message i.
+	MessageAssertion []int
+	// RepresentativeText[j] is the founding message's text for assertion j.
+	RepresentativeText []string
+	// Result is the fact-finder's scoring.
+	Result *factfind.Result
+	// Ranked is the TopK assertion ids by decreasing credibility.
+	Ranked []int
+}
+
+// Errors returned by the pipeline.
+var (
+	ErrNoMessages = errors.New("apollo: input has no messages")
+	ErrNilFinder  = errors.New("apollo: nil fact-finder")
+	ErrGraphSize  = errors.New("apollo: graph size does not match NumSources")
+)
+
+// Run executes the pipeline with the given fact-finder.
+func Run(in Input, finder factfind.FactFinder, opts Options) (*Output, error) {
+	if len(in.Messages) == 0 {
+		return nil, ErrNoMessages
+	}
+	if finder == nil {
+		return nil, ErrNilFinder
+	}
+	graph := in.Graph
+	if graph == nil {
+		graph = depgraph.NewGraph(in.NumSources)
+	}
+	if graph.N() != in.NumSources {
+		return nil, fmt.Errorf("%w: graph has %d sources, input %d", ErrGraphSize, graph.N(), in.NumSources)
+	}
+	topK := opts.TopK
+	if topK <= 0 {
+		topK = 100
+	}
+	clusterer := opts.Clusterer
+	if clusterer == nil {
+		clusterer = &cluster.Leader{}
+	}
+
+	// Stage 1: assertion extraction.
+	docs := make([][]string, len(in.Messages))
+	for i, msg := range in.Messages {
+		docs[i] = cluster.Tokenize(msg.Text)
+	}
+	assign := clusterer.Cluster(docs)
+
+	// Stage 2: source-claim matrix + dependency indicators from timing and
+	// the follow graph.
+	events := make([]depgraph.Event, len(in.Messages))
+	for i, msg := range in.Messages {
+		if msg.Source < 0 || msg.Source >= in.NumSources {
+			return nil, fmt.Errorf("apollo: message %d has source %d outside [0,%d)", i, msg.Source, in.NumSources)
+		}
+		events[i] = depgraph.Event{Source: msg.Source, Assertion: assign.Cluster[i], Time: msg.Time}
+	}
+	ds, err := depgraph.BuildDataset(graph, events, assign.NumClusters)
+	if err != nil {
+		return nil, fmt.Errorf("apollo: build dataset: %w", err)
+	}
+
+	// Stage 3: fact-finding.
+	res, err := finder.Run(ds)
+	if err != nil {
+		return nil, fmt.Errorf("apollo: %s: %w", finder.Name(), err)
+	}
+
+	reps := make([]string, assign.NumClusters)
+	for c, leader := range assign.Leaders {
+		reps[c] = in.Messages[leader].Text
+	}
+	return &Output{
+		Dataset:            ds,
+		MessageAssertion:   assign.Cluster,
+		RepresentativeText: reps,
+		Result:             res,
+		Ranked:             res.TopK(topK),
+	}, nil
+}

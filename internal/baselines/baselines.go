@@ -1,0 +1,70 @@
+// Package baselines implements the comparison algorithms from the paper's
+// evaluation (Section V): the model-based estimators EM (IPSN'12) and
+// EM-Social (IPSN'14), and the heuristic fact-finders Voting, Sums,
+// Average.Log, and TruthFinder. None of the heuristics uses the dependency
+// indicators — exactly the modeling gap the paper attributes their variance
+// to.
+package baselines
+
+import (
+	"depsense/internal/claims"
+	"depsense/internal/core"
+	"depsense/internal/factfind"
+)
+
+// EM is the IPSN'12 estimator of Wang et al.: maximum-likelihood truth
+// discovery under the assumption that all sources are independent. It is
+// the core EM engine with the dependency channel disabled.
+type EM struct {
+	Opts core.Options
+}
+
+var _ factfind.FactFinder = (*EM)(nil)
+
+// Name implements factfind.FactFinder.
+func (e *EM) Name() string { return "EM" }
+
+// Run implements factfind.FactFinder.
+func (e *EM) Run(ds *claims.Dataset) (*factfind.Result, error) {
+	return core.Run(ds, core.VariantIndependent, e.Opts)
+}
+
+// EMSocial is the IPSN'14 estimator: dependent claims are assumed to carry
+// no information and are removed from the likelihood before running
+// independent-source EM.
+type EMSocial struct {
+	Opts core.Options
+}
+
+var _ factfind.FactFinder = (*EMSocial)(nil)
+
+// Name implements factfind.FactFinder.
+func (e *EMSocial) Name() string { return "EM-Social" }
+
+// Run implements factfind.FactFinder.
+func (e *EMSocial) Run(ds *claims.Dataset) (*factfind.Result, error) {
+	return core.Run(ds, core.VariantSocial, e.Opts)
+}
+
+// All returns the full algorithm lineup of the empirical evaluation
+// (Fig. 11), in the paper's order: EM-Ext first, then the baselines. Every
+// algorithm is seeded from the same value for reproducibility.
+func All(seed int64) []factfind.FactFinder {
+	opts := core.Options{Seed: seed}
+	return []factfind.FactFinder{
+		&core.EMExt{Opts: opts},
+		&EMSocial{Opts: opts},
+		&EM{Opts: opts},
+		&Voting{},
+		&Sums{},
+		&AverageLog{},
+		&TruthFinder{},
+	}
+}
+
+// Extended returns All plus the additional Pasternack & Roth fact-finders
+// implemented beyond the paper's lineup (Investment, PooledInvestment),
+// useful for broader comparisons.
+func Extended(seed int64) []factfind.FactFinder {
+	return append(All(seed), &Investment{}, &PooledInvestment{})
+}

@@ -1,0 +1,34 @@
+package baselines
+
+import (
+	"depsense/internal/claims"
+	"depsense/internal/factfind"
+)
+
+// Voting ranks assertions by their raw support count: the number of sources
+// that made the claim. It is the simplest baseline and the one most
+// vulnerable to dependent claims, since every repeat inflates the count.
+type Voting struct{}
+
+var _ factfind.FactFinder = (*Voting)(nil)
+
+// Name implements factfind.FactFinder.
+func (v *Voting) Name() string { return "Voting" }
+
+// Run implements factfind.FactFinder.
+func (v *Voting) Run(ds *claims.Dataset) (*factfind.Result, error) {
+	scores := make([]float64, ds.M())
+	maxScore := 0.0
+	for j := 0; j < ds.M(); j++ {
+		scores[j] = float64(len(ds.Claimants(j)))
+		if scores[j] > maxScore {
+			maxScore = scores[j]
+		}
+	}
+	if maxScore > 0 {
+		for j := range scores {
+			scores[j] /= maxScore
+		}
+	}
+	return &factfind.Result{Posterior: scores, Iterations: 1, Converged: true}, nil
+}

@@ -1,0 +1,115 @@
+package bound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"depsense/internal/randutil"
+)
+
+// TestConvolutionMatchesExact: the DP approximation must track exact
+// enumeration tightly on random small columns. The Err tolerance is tight;
+// the FP/FN split gets more slack because a claim pattern whose likelihood
+// ratio lands exactly on the decision boundary contributes the same error
+// mass to either side, and lattice rounding may tip such ties the other
+// way than exact enumeration's w1 >= w0 rule does.
+func TestConvolutionMatchesExact(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := randutil.New(seed)
+		n := 1 + rng.Intn(12)
+		col := randomColumn(rng, n)
+		exact, err := Exact(col)
+		if err != nil {
+			return false
+		}
+		conv, err := Convolution(col, ConvolutionOptions{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(exact.Err-conv.Err) < 2e-3 &&
+			math.Abs(exact.FalsePos-conv.FalsePos) < 2e-2 &&
+			math.Abs(exact.FalseNeg-conv.FalseNeg) < 2e-2
+	}, &quick.Config{MaxCount: 80, Rand: randutil.New(20260706)})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvolutionSingleSource(t *testing.T) {
+	col := Column{P1: []float64{0.9}, P0: []float64{0.2}, Z: 0.5}
+	res, err := Convolution(col, ConvolutionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Err-0.15) > 1e-3 {
+		t.Fatalf("Err = %v, want 0.15", res.Err)
+	}
+}
+
+func TestConvolutionLargeN(t *testing.T) {
+	// Far beyond exact enumeration's reach: 500 sources. The bound must be
+	// finite, tiny (massive evidence), and decomposed consistently.
+	rng := randutil.New(3)
+	n := 500
+	col := Column{P1: make([]float64, n), P0: make([]float64, n), Z: 0.4}
+	for i := 0; i < n; i++ {
+		col.P1[i] = 0.5 + 0.3*rng.Float64()
+		col.P0[i] = 0.1 + 0.3*rng.Float64()
+	}
+	res, err := Convolution(col, ConvolutionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err < 0 || res.Err > 0.05 {
+		t.Fatalf("500 informative sources left Err = %v", res.Err)
+	}
+	if math.Abs(res.Err-(res.FalsePos+res.FalseNeg)) > 1e-12 {
+		t.Fatal("decomposition broken")
+	}
+}
+
+func TestConvolutionAgreesWithGibbsLargeN(t *testing.T) {
+	// Cross-validate the two tractable methods against each other where
+	// exact enumeration is impossible (n = 60).
+	rng := randutil.New(9)
+	col := randomColumn(rng, 60)
+	conv, err := Convolution(col, ConvolutionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gibbs, err := Approx(col, ApproxOptions{MaxSweeps: 30000, Tol: 1e-9}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(conv.Err - gibbs.Err); diff > 0.02 {
+		t.Fatalf("convolution %v vs gibbs %v (diff %v)", conv.Err, gibbs.Err, diff)
+	}
+}
+
+func TestConvolutionResolutionTradeoff(t *testing.T) {
+	rng := randutil.New(11)
+	col := randomColumn(rng, 10)
+	exact, err := Exact(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Convolution(col, ConvolutionOptions{Bins: 1 << 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Convolution(col, ConvolutionOptions{Bins: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fine.Err-exact.Err) > math.Abs(coarse.Err-exact.Err)+1e-9 {
+		t.Fatalf("finer grid did not improve: coarse %v fine %v exact %v",
+			coarse.Err, fine.Err, exact.Err)
+	}
+}
+
+func TestConvolutionValidatesColumn(t *testing.T) {
+	if _, err := Convolution(Column{}, ConvolutionOptions{}); err == nil {
+		t.Fatal("empty column accepted")
+	}
+}

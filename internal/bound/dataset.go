@@ -1,0 +1,140 @@
+package bound
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"depsense/internal/claims"
+	"depsense/internal/model"
+	"depsense/internal/randutil"
+)
+
+// Method selects how per-column bounds are computed for a dataset.
+type Method int
+
+// Bound computation methods.
+const (
+	// MethodExact enumerates all 2^n patterns per distinct column.
+	MethodExact Method = iota + 1
+	// MethodApprox runs the Gibbs approximation per distinct column.
+	MethodApprox
+	// MethodConvolution runs the deterministic log-likelihood-ratio DP per
+	// distinct column.
+	MethodConvolution
+)
+
+// DatasetOptions configures ForDataset.
+type DatasetOptions struct {
+	Method Method
+	// Approx tunes the Gibbs chains when Method == MethodApprox.
+	Approx ApproxOptions
+	// Convolution tunes the lattice when Method == MethodConvolution.
+	Convolution ConvolutionOptions
+	// MaxColumns caps the number of distinct dependency columns evaluated;
+	// when exceeded, columns are sampled and the result reweighted by column
+	// frequency. Zero means no cap.
+	MaxColumns int
+}
+
+// ForDataset computes the expected error bound of a dataset: the frequency-
+// weighted average over assertions of the per-assertion bound. Assertions
+// sharing a dependency column share a bound, so distinct columns are
+// evaluated once and weighted by multiplicity — the dominant saving in the
+// paper's forest-structured simulations, where columns repeat heavily.
+func ForDataset(ds *claims.Dataset, p *model.Params, opts DatasetOptions, rng *rand.Rand) (Result, error) {
+	if ds.M() == 0 {
+		return Result{}, fmt.Errorf("bound: dataset has no assertions")
+	}
+	if ds.N() != p.NumSources() {
+		return Result{}, fmt.Errorf("bound: dataset has %d sources, params have %d", ds.N(), p.NumSources())
+	}
+	if opts.Method == 0 {
+		opts.Method = MethodApprox
+	}
+
+	type group struct {
+		col   []bool
+		count int
+	}
+	groups := make(map[string]*group)
+	order := make([]string, 0, ds.M())
+	for j := 0; j < ds.M(); j++ {
+		col := ds.DependencyColumn(j)
+		key := colKey(col)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{col: col}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.count++
+	}
+
+	selected := order
+	if opts.MaxColumns > 0 && len(order) > opts.MaxColumns {
+		idx := randutil.SampleWithoutReplacement(rng, len(order), opts.MaxColumns)
+		selected = make([]string, 0, opts.MaxColumns)
+		for _, i := range idx {
+			selected = append(selected, order[i])
+		}
+	}
+
+	var agg Result
+	totalWeight := 0.0
+	for _, key := range selected {
+		g := groups[key]
+		col, err := NewColumn(p, g.col)
+		if err != nil {
+			return Result{}, err
+		}
+		var r Result
+		switch opts.Method {
+		case MethodExact:
+			r, err = Exact(col)
+		case MethodApprox:
+			r, err = Approx(col, opts.Approx, rng)
+		case MethodConvolution:
+			r, err = Convolution(col, opts.Convolution)
+		default:
+			return Result{}, fmt.Errorf("bound: unknown method %d", opts.Method)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		w := float64(g.count)
+		agg.Err += w * r.Err
+		agg.FalsePos += w * r.FalsePos
+		agg.FalseNeg += w * r.FalseNeg
+		agg.StdErr += w * w * r.StdErr * r.StdErr
+		agg.Sweeps += r.Sweeps
+		totalWeight += w
+	}
+	agg.Err /= totalWeight
+	agg.FalsePos /= totalWeight
+	agg.FalseNeg /= totalWeight
+	if agg.StdErr > 0 {
+		agg.StdErr = math.Sqrt(agg.StdErr) / totalWeight
+	}
+	return agg, nil
+}
+
+// DistinctColumns returns the number of distinct dependency columns in the
+// dataset, a useful cost predictor for exact bounds.
+func DistinctColumns(ds *claims.Dataset) int {
+	seen := make(map[string]struct{})
+	for j := 0; j < ds.M(); j++ {
+		seen[colKey(ds.DependencyColumn(j))] = struct{}{}
+	}
+	return len(seen)
+}
+
+func colKey(col []bool) string {
+	b := make([]byte, (len(col)+7)/8)
+	for i, on := range col {
+		if on {
+			b[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(b)
+}

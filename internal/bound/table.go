@@ -1,0 +1,38 @@
+package bound
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadTable reports malformed pattern tables.
+var ErrBadTable = errors.New("bound: invalid pattern table")
+
+// FromPatternTable computes the error bound directly from tabulated
+// per-pattern likelihoods P(SC_j|C_j=1) and P(SC_j|C_j=0), the form of the
+// paper's walk-through example (Table I): Err = Σ min(z·p1, (1-z)·p0).
+// The tables must have equal length covering all patterns; each should sum
+// to 1 (not enforced, so partially tabulated supports can be bounded too).
+func FromPatternTable(p1, p0 []float64, z float64) (Result, error) {
+	if len(p1) == 0 || len(p1) != len(p0) {
+		return Result{}, fmt.Errorf("%w: %d vs %d entries", ErrBadTable, len(p1), len(p0))
+	}
+	if z < 0 || z > 1 {
+		return Result{}, fmt.Errorf("%w: prior z = %v", ErrBadTable, z)
+	}
+	var res Result
+	for k := range p1 {
+		if p1[k] < 0 || p0[k] < 0 {
+			return Result{}, fmt.Errorf("%w: negative probability at pattern %d", ErrBadTable, k)
+		}
+		w1 := z * p1[k]
+		w0 := (1 - z) * p0[k]
+		if w1 >= w0 {
+			res.FalsePos += w0
+		} else {
+			res.FalseNeg += w1
+		}
+	}
+	res.Err = res.FalsePos + res.FalseNeg
+	return res, nil
+}

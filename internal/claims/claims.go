@@ -1,0 +1,281 @@
+// Package claims holds the data structures at the heart of the fact-finding
+// problem: the source-claim matrix SC and the dependency indicator matrix D
+// from Section II of the paper.
+//
+// Both matrices are n×m but extremely sparse in practice (a Twitter source
+// asserts a handful of the thousands of assertions in a dataset), so the
+// Dataset stores only the nonzero structure, indexed both by assertion (for
+// the E-step and the bound) and by source (for the M-step):
+//
+//   - claims: pairs (i, j) with SC[i][j] = 1, each tagged with D[i][j];
+//   - silent-dependent pairs: (i, j) with SC[i][j] = 0 but D[i][j] = 1,
+//     i.e. an ancestor of S_i asserted C_j yet S_i stayed silent. These are
+//     informative under the dependent channel (factor 1-f_i or 1-g_i instead
+//     of 1-a_i or 1-b_i) and must be tracked explicitly.
+//
+// All remaining (i, j) pairs are independent non-claims (factor 1-a_i or
+// 1-b_i), which estimators handle in aggregate.
+package claims
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ClaimRef identifies one claimant of an assertion and whether that claim is
+// dependent (D[i][j] = 1).
+type ClaimRef struct {
+	Source    int  `json:"source"`
+	Dependent bool `json:"dependent"`
+}
+
+// SourceRef identifies one assertion touched by a source, mirror of
+// ClaimRef for the by-source index.
+type SourceRef struct {
+	Assertion int  `json:"assertion"`
+	Dependent bool `json:"dependent"`
+}
+
+// Dataset is an immutable fact-finding input: n sources, m assertions, the
+// sparse claim structure, and the sparse dependent-pair structure. Construct
+// one with a Builder; a zero Dataset is empty but valid.
+type Dataset struct {
+	n int
+	m int
+
+	// byAssertion[j] lists the sources that claimed C_j.
+	byAssertion [][]ClaimRef
+	// silentDepByAssertion[j] lists sources with D[i][j] = 1 and no claim.
+	silentDepByAssertion [][]int
+
+	// bySource indices for the M-step.
+	claimsD0BySource [][]int // assertions claimed independently by i
+	claimsD1BySource [][]int // assertions claimed dependently by i
+	silentD1BySource [][]int // assertions with D=1 where i stayed silent
+
+	numClaims    int
+	numDependent int
+}
+
+// N returns the number of sources.
+func (d *Dataset) N() int { return d.n }
+
+// M returns the number of assertions.
+func (d *Dataset) M() int { return d.m }
+
+// NumClaims returns the total number of claims (nonzeros of SC).
+func (d *Dataset) NumClaims() int { return d.numClaims }
+
+// NumDependentClaims returns the number of claims with D[i][j] = 1.
+func (d *Dataset) NumDependentClaims() int { return d.numDependent }
+
+// NumOriginalClaims returns the number of independent claims, the paper's
+// "#Original Claims" column in Table III.
+func (d *Dataset) NumOriginalClaims() int { return d.numClaims - d.numDependent }
+
+// Claimants returns the sources claiming assertion j. The returned slice is
+// owned by the Dataset and must not be modified.
+func (d *Dataset) Claimants(j int) []ClaimRef { return d.byAssertion[j] }
+
+// SilentDependents returns the sources with D[i][j] = 1 that did not claim
+// j. The returned slice is owned by the Dataset and must not be modified.
+func (d *Dataset) SilentDependents(j int) []int { return d.silentDepByAssertion[j] }
+
+// ClaimsD0 returns the assertions source i claimed independently.
+func (d *Dataset) ClaimsD0(i int) []int { return d.claimsD0BySource[i] }
+
+// ClaimsD1 returns the assertions source i claimed dependently.
+func (d *Dataset) ClaimsD1(i int) []int { return d.claimsD1BySource[i] }
+
+// SilentD1 returns the assertions with D[i][j] = 1 that source i did not
+// claim.
+func (d *Dataset) SilentD1(i int) []int { return d.silentD1BySource[i] }
+
+// Claimed reports SC[i][j].
+func (d *Dataset) Claimed(i, j int) bool {
+	for _, c := range d.byAssertion[j] {
+		if c.Source == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Dependent reports D[i][j].
+func (d *Dataset) Dependent(i, j int) bool {
+	for _, c := range d.byAssertion[j] {
+		if c.Source == i {
+			return c.Dependent
+		}
+	}
+	for _, s := range d.silentDepByAssertion[j] {
+		if s == i {
+			return true
+		}
+	}
+	return false
+}
+
+// DependencyColumn materializes column j of D as a dense boolean vector of
+// length n. The error-bound computation consumes columns in this form.
+func (d *Dataset) DependencyColumn(j int) []bool {
+	col := make([]bool, d.n)
+	for _, c := range d.byAssertion[j] {
+		if c.Dependent {
+			col[c.Source] = true
+		}
+	}
+	for _, s := range d.silentDepByAssertion[j] {
+		col[s] = true
+	}
+	return col
+}
+
+// Summary aggregates the Table III-style dataset statistics.
+type Summary struct {
+	Sources         int `json:"sources"`
+	Assertions      int `json:"assertions"`
+	TotalClaims     int `json:"totalClaims"`
+	OriginalClaims  int `json:"originalClaims"`
+	DependentClaims int `json:"dependentClaims"`
+	SilentDependent int `json:"silentDependentPairs"`
+}
+
+// Summarize computes dataset statistics.
+func (d *Dataset) Summarize() Summary {
+	silent := 0
+	for _, s := range d.silentDepByAssertion {
+		silent += len(s)
+	}
+	return Summary{
+		Sources:         d.n,
+		Assertions:      d.m,
+		TotalClaims:     d.numClaims,
+		OriginalClaims:  d.NumOriginalClaims(),
+		DependentClaims: d.numDependent,
+		SilentDependent: silent,
+	}
+}
+
+// String renders the summary, convenient for examples and CLIs.
+func (s Summary) String() string {
+	return fmt.Sprintf("sources=%d assertions=%d claims=%d (original=%d dependent=%d) silent-dependent=%d",
+		s.Sources, s.Assertions, s.TotalClaims, s.OriginalClaims, s.DependentClaims, s.SilentDependent)
+}
+
+// Builder accumulates claims and dependency marks, then freezes them into a
+// Dataset. It validates index ranges eagerly and duplicate/conflicting
+// entries at Build time.
+type Builder struct {
+	n, m      int
+	claimed   map[pairKey]bool // value: dependent
+	silentDep map[pairKey]struct{}
+	err       error
+}
+
+type pairKey struct{ i, j int }
+
+// Errors reported by the Builder.
+var (
+	ErrIndexOutOfRange = errors.New("claims: source or assertion index out of range")
+	ErrConflictingPair = errors.New("claims: pair marked both claimed and silent-dependent")
+)
+
+// NewBuilder creates a Builder for n sources and m assertions.
+func NewBuilder(n, m int) *Builder {
+	return &Builder{
+		n:         n,
+		m:         m,
+		claimed:   make(map[pairKey]bool),
+		silentDep: make(map[pairKey]struct{}),
+	}
+}
+
+func (b *Builder) checkRange(i, j int) bool {
+	if i < 0 || i >= b.n || j < 0 || j >= b.m {
+		if b.err == nil {
+			b.err = fmt.Errorf("%w: (source=%d, assertion=%d) with n=%d, m=%d",
+				ErrIndexOutOfRange, i, j, b.n, b.m)
+		}
+		return false
+	}
+	return true
+}
+
+// AddClaim records SC[i][j] = 1 with D[i][j] = dependent. Re-adding the same
+// pair is allowed; a dependent mark wins over an independent one (a claim is
+// dependent if ANY earlier ancestor assertion exists).
+func (b *Builder) AddClaim(i, j int, dependent bool) *Builder {
+	if !b.checkRange(i, j) {
+		return b
+	}
+	k := pairKey{i, j}
+	b.claimed[k] = b.claimed[k] || dependent
+	return b
+}
+
+// MarkSilentDependent records D[i][j] = 1 for a pair where source i made no
+// claim. If the pair is later claimed, Build reports ErrConflictingPair
+// unless the claim itself was added as dependent (in which case the silent
+// mark is redundant and dropped).
+func (b *Builder) MarkSilentDependent(i, j int) *Builder {
+	if !b.checkRange(i, j) {
+		return b
+	}
+	b.silentDep[pairKey{i, j}] = struct{}{}
+	return b
+}
+
+// Build freezes the accumulated structure into a Dataset.
+func (b *Builder) Build() (*Dataset, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	d := &Dataset{
+		n:                    b.n,
+		m:                    b.m,
+		byAssertion:          make([][]ClaimRef, b.m),
+		silentDepByAssertion: make([][]int, b.m),
+		claimsD0BySource:     make([][]int, b.n),
+		claimsD1BySource:     make([][]int, b.n),
+		silentD1BySource:     make([][]int, b.n),
+	}
+	for k, dep := range b.claimed {
+		if _, silent := b.silentDep[k]; silent && !dep {
+			return nil, fmt.Errorf("%w: (source=%d, assertion=%d)", ErrConflictingPair, k.i, k.j)
+		}
+		d.byAssertion[k.j] = append(d.byAssertion[k.j], ClaimRef{Source: k.i, Dependent: dep})
+		if dep {
+			d.claimsD1BySource[k.i] = append(d.claimsD1BySource[k.i], k.j)
+			d.numDependent++
+		} else {
+			d.claimsD0BySource[k.i] = append(d.claimsD0BySource[k.i], k.j)
+		}
+		d.numClaims++
+	}
+	for k := range b.silentDep {
+		if _, isClaim := b.claimed[k]; isClaim {
+			continue // claim already carries the dependent mark
+		}
+		d.silentDepByAssertion[k.j] = append(d.silentDepByAssertion[k.j], k.i)
+		d.silentD1BySource[k.i] = append(d.silentD1BySource[k.i], k.j)
+	}
+	d.sortIndexes()
+	return d, nil
+}
+
+// sortIndexes makes iteration order deterministic regardless of map order.
+func (d *Dataset) sortIndexes() {
+	for j := range d.byAssertion {
+		sort.Slice(d.byAssertion[j], func(a, b int) bool {
+			return d.byAssertion[j][a].Source < d.byAssertion[j][b].Source
+		})
+		sort.Ints(d.silentDepByAssertion[j])
+	}
+	for i := 0; i < d.n; i++ {
+		sort.Ints(d.claimsD0BySource[i])
+		sort.Ints(d.claimsD1BySource[i])
+		sort.Ints(d.silentD1BySource[i])
+	}
+}

@@ -1,0 +1,271 @@
+package claims
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustBuild(t *testing.T, b *Builder) *Dataset {
+	t.Helper()
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return ds
+}
+
+func TestEmptyDataset(t *testing.T) {
+	ds := mustBuild(t, NewBuilder(3, 4))
+	if ds.N() != 3 || ds.M() != 4 {
+		t.Fatalf("dims = (%d,%d)", ds.N(), ds.M())
+	}
+	if ds.NumClaims() != 0 || ds.NumDependentClaims() != 0 {
+		t.Fatal("empty dataset has claims")
+	}
+	for j := 0; j < 4; j++ {
+		if len(ds.Claimants(j)) != 0 || len(ds.SilentDependents(j)) != 0 {
+			t.Fatal("empty dataset has assertion entries")
+		}
+	}
+}
+
+func TestBasicClaims(t *testing.T) {
+	b := NewBuilder(3, 2)
+	b.AddClaim(0, 0, false)
+	b.AddClaim(1, 0, true)
+	b.AddClaim(2, 1, false)
+	b.MarkSilentDependent(0, 1)
+	ds := mustBuild(t, b)
+
+	if ds.NumClaims() != 3 || ds.NumDependentClaims() != 1 || ds.NumOriginalClaims() != 2 {
+		t.Fatalf("counts: %+v", ds.Summarize())
+	}
+	if !ds.Claimed(0, 0) || ds.Claimed(0, 1) || !ds.Claimed(1, 0) {
+		t.Fatal("Claimed wrong")
+	}
+	if ds.Dependent(0, 0) || !ds.Dependent(1, 0) || !ds.Dependent(0, 1) {
+		t.Fatal("Dependent wrong")
+	}
+	if got := ds.ClaimsD0(0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("ClaimsD0(0) = %v", got)
+	}
+	if got := ds.ClaimsD1(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("ClaimsD1(1) = %v", got)
+	}
+	if got := ds.SilentD1(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("SilentD1(0) = %v", got)
+	}
+}
+
+func TestDuplicateClaimDependentWins(t *testing.T) {
+	b := NewBuilder(1, 1)
+	b.AddClaim(0, 0, false)
+	b.AddClaim(0, 0, true)
+	ds := mustBuild(t, b)
+	if ds.NumClaims() != 1 || !ds.Dependent(0, 0) {
+		t.Fatal("dependent mark should win and duplicates collapse")
+	}
+
+	b = NewBuilder(1, 1)
+	b.AddClaim(0, 0, true)
+	b.AddClaim(0, 0, false)
+	ds = mustBuild(t, b)
+	if !ds.Dependent(0, 0) {
+		t.Fatal("dependent mark lost when added first")
+	}
+}
+
+func TestSilentThenClaimConflicts(t *testing.T) {
+	b := NewBuilder(1, 1)
+	b.MarkSilentDependent(0, 0)
+	b.AddClaim(0, 0, false)
+	if _, err := b.Build(); !errors.Is(err, ErrConflictingPair) {
+		t.Fatalf("want ErrConflictingPair, got %v", err)
+	}
+
+	// A dependent claim subsumes the silent mark.
+	b = NewBuilder(1, 1)
+	b.MarkSilentDependent(0, 0)
+	b.AddClaim(0, 0, true)
+	ds := mustBuild(t, b)
+	if len(ds.SilentDependents(0)) != 0 || !ds.Dependent(0, 0) {
+		t.Fatal("dependent claim should subsume silent mark")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	for _, f := range []func(*Builder){
+		func(b *Builder) { b.AddClaim(-1, 0, false) },
+		func(b *Builder) { b.AddClaim(2, 0, false) },
+		func(b *Builder) { b.AddClaim(0, 3, false) },
+		func(b *Builder) { b.MarkSilentDependent(0, -1) },
+	} {
+		b := NewBuilder(2, 3)
+		f(b)
+		if _, err := b.Build(); !errors.Is(err, ErrIndexOutOfRange) {
+			t.Fatalf("want ErrIndexOutOfRange, got %v", err)
+		}
+	}
+}
+
+func TestDependencyColumn(t *testing.T) {
+	b := NewBuilder(4, 1)
+	b.AddClaim(0, 0, false)
+	b.AddClaim(1, 0, true)
+	b.MarkSilentDependent(3, 0)
+	ds := mustBuild(t, b)
+	col := ds.DependencyColumn(0)
+	want := []bool{false, true, false, true}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Fatalf("column = %v, want %v", col, want)
+		}
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	build := func() *Dataset {
+		b := NewBuilder(10, 5)
+		for i := 9; i >= 0; i-- {
+			b.AddClaim(i, i%5, i%2 == 0)
+		}
+		b.MarkSilentDependent(3, 4)
+		b.MarkSilentDependent(1, 4)
+		ds, _ := b.Build()
+		return ds
+	}
+	a, b := build(), build()
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("identical builds serialize differently (map-order leak)")
+	}
+	for j := 0; j < 5; j++ {
+		cl := a.Claimants(j)
+		for k := 1; k < len(cl); k++ {
+			if cl[k-1].Source >= cl[k].Source {
+				t.Fatal("claimants not sorted")
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	b := NewBuilder(5, 4)
+	b.AddClaim(0, 1, false)
+	b.AddClaim(2, 1, true)
+	b.AddClaim(4, 3, true)
+	b.MarkSilentDependent(1, 1)
+	b.MarkSilentDependent(3, 3)
+	ds := mustBuild(t, b)
+
+	var buf bytes.Buffer
+	if _, err := ds.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatalf("ReadDataset: %v", err)
+	}
+	if got.N() != ds.N() || got.M() != ds.M() {
+		t.Fatal("dims changed in round trip")
+	}
+	ja, _ := json.Marshal(ds)
+	jb, _ := json.Marshal(got)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("round trip mismatch:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestReadDatasetRejectsGarbage(t *testing.T) {
+	if _, err := ReadDataset(bytes.NewBufferString("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Structurally valid JSON with out-of-range index.
+	bad := `{"sources":1,"assertions":1,"claims":[{"source":5,"assertion":0}]}`
+	if _, err := ReadDataset(bytes.NewBufferString(bad)); err == nil {
+		t.Fatal("out-of-range claim accepted")
+	}
+}
+
+// TestIndexConsistency is the structural invariant: the by-assertion and
+// by-source views must describe exactly the same set of pairs.
+func TestIndexConsistency(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		m := 1 + rng.Intn(12)
+		b := NewBuilder(n, m)
+		type pk struct{ i, j int }
+		claimed := make(map[pk]bool)
+		silent := make(map[pk]bool)
+		for k := 0; k < rng.Intn(40); k++ {
+			i, j := rng.Intn(n), rng.Intn(m)
+			dep := rng.Intn(2) == 0
+			key := pk{i, j}
+			if silent[key] {
+				dep = true // avoid intentional conflicts in this test
+			}
+			b.AddClaim(i, j, dep)
+			claimed[key] = claimed[key] || dep
+		}
+		for k := 0; k < rng.Intn(20); k++ {
+			i, j := rng.Intn(n), rng.Intn(m)
+			key := pk{i, j}
+			if _, isClaim := claimed[key]; isClaim {
+				continue
+			}
+			b.MarkSilentDependent(i, j)
+			silent[key] = true
+		}
+		ds, err := b.Build()
+		if err != nil {
+			return false
+		}
+
+		// Rebuild the pair sets from the by-source view.
+		gotClaims := make(map[pk]bool)
+		gotSilent := make(map[pk]bool)
+		for i := 0; i < n; i++ {
+			for _, j := range ds.ClaimsD0(i) {
+				gotClaims[pk{i, j}] = false
+			}
+			for _, j := range ds.ClaimsD1(i) {
+				gotClaims[pk{i, j}] = true
+			}
+			for _, j := range ds.SilentD1(i) {
+				gotSilent[pk{i, j}] = true
+			}
+		}
+		// And from the by-assertion view.
+		gotClaims2 := make(map[pk]bool)
+		total := 0
+		for j := 0; j < m; j++ {
+			for _, c := range ds.Claimants(j) {
+				gotClaims2[pk{c.Source, j}] = c.Dependent
+				total++
+			}
+		}
+		if total != ds.NumClaims() || len(gotClaims) != len(claimed) || len(gotClaims2) != len(claimed) {
+			return false
+		}
+		for k, dep := range claimed {
+			if gotClaims[k] != dep || gotClaims2[k] != dep {
+				return false
+			}
+		}
+		if len(gotSilent) != len(silent) {
+			return false
+		}
+		sum := ds.Summarize()
+		return sum.TotalClaims == sum.OriginalClaims+sum.DependentClaims &&
+			sum.SilentDependent == len(silent)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

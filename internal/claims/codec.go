@@ -1,0 +1,87 @@
+package claims
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// datasetJSON is the on-disk representation consumed by the CLI tools. The
+// silent-dependent pairs are serialized explicitly so that a round trip
+// preserves the full D matrix, not just its claimed entries.
+type datasetJSON struct {
+	Sources    int         `json:"sources"`
+	Assertions int         `json:"assertions"`
+	Claims     []claimJSON `json:"claims"`
+	SilentDep  []pairJSON  `json:"silentDependent,omitempty"`
+}
+
+type claimJSON struct {
+	Source    int  `json:"source"`
+	Assertion int  `json:"assertion"`
+	Dependent bool `json:"dependent,omitempty"`
+}
+
+type pairJSON struct {
+	Source    int `json:"source"`
+	Assertion int `json:"assertion"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d *Dataset) MarshalJSON() ([]byte, error) {
+	out := datasetJSON{Sources: d.n, Assertions: d.m}
+	out.Claims = make([]claimJSON, 0, d.numClaims)
+	for j, refs := range d.byAssertion {
+		for _, c := range refs {
+			out.Claims = append(out.Claims, claimJSON{Source: c.Source, Assertion: j, Dependent: c.Dependent})
+		}
+		for _, i := range d.silentDepByAssertion[j] {
+			out.SilentDep = append(out.SilentDep, pairJSON{Source: i, Assertion: j})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Dataset) UnmarshalJSON(data []byte) error {
+	var in datasetJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("claims: decode dataset: %w", err)
+	}
+	b := NewBuilder(in.Sources, in.Assertions)
+	for _, c := range in.Claims {
+		b.AddClaim(c.Source, c.Assertion, c.Dependent)
+	}
+	for _, p := range in.SilentDep {
+		b.MarkSilentDependent(p.Source, p.Assertion)
+	}
+	built, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("claims: decode dataset: %w", err)
+	}
+	*d = *built
+	return nil
+}
+
+// WriteTo streams the dataset as JSON.
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// ReadDataset decodes a dataset from JSON.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("claims: read dataset: %w", err)
+	}
+	var d Dataset
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

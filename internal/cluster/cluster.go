@@ -1,0 +1,136 @@
+// Package cluster groups near-duplicate short texts (tweets) into
+// assertions, the extraction step the paper inherits from the Apollo
+// fact-finding tool. It implements single-pass leader clustering over token
+// sets with Jaccard similarity, accelerated by an inverted token index so
+// only clusters sharing at least one token with the incoming document are
+// considered.
+package cluster
+
+import (
+	"strings"
+)
+
+// Tokenize normalizes tweet text into a deduplicated token set: lowercase,
+// punctuation-stripped, with retweet markers ("rt"), @-mentions, URLs, and
+// common stopwords removed. These are exactly the elements that vary
+// between a claim and its repeats, so removing them lets a retweet cluster
+// with its original.
+func Tokenize(text string) []string {
+	fields := strings.Fields(strings.ToLower(text))
+	seen := make(map[string]struct{}, len(fields))
+	tokens := make([]string, 0, len(fields))
+	for _, f := range fields {
+		f = strings.Trim(f, ".,!?;:'\"()[]{}…—-")
+		switch {
+		case f == "" || f == "rt":
+			continue
+		case strings.HasPrefix(f, "@"):
+			continue
+		case strings.HasPrefix(f, "http://") || strings.HasPrefix(f, "https://"):
+			continue
+		case stopwords[f]:
+			continue
+		}
+		if _, dup := seen[f]; dup {
+			continue
+		}
+		seen[f] = struct{}{}
+		tokens = append(tokens, f)
+	}
+	return tokens
+}
+
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "is": true, "are": true, "was": true,
+	"were": true, "be": true, "been": true, "to": true, "of": true, "in": true,
+	"on": true, "at": true, "and": true, "or": true, "it": true, "its": true,
+	"this": true, "that": true, "with": true, "for": true, "by": true,
+	"from": true, "as": true, "has": true, "have": true, "had": true,
+	"i": true, "we": true, "you": true, "they": true, "he": true, "she": true,
+}
+
+// Leader is a single-pass leader clusterer: each document joins the best
+// existing cluster whose centroid token set is at least Threshold-similar
+// (Jaccard), otherwise it founds a new cluster. The centroid is the
+// founding document's token set — cheap, deterministic, and faithful to
+// Apollo's streaming design.
+type Leader struct {
+	// Threshold is the minimum Jaccard similarity for joining a cluster
+	// (default 0.5).
+	Threshold float64
+	// MaxPostings caps the inverted-index list per token (default 128).
+	// Tokens contained in more clusters than this are treated as
+	// non-discriminative and stop generating candidates — the standard
+	// stop-token defense that keeps a 40k-tweet stream from degenerating
+	// into all-pairs comparison through one shared hashtag. The shared
+	// token still undercounts intersections slightly for such tokens,
+	// which is the accepted trade-off.
+	MaxPostings int
+}
+
+// Assignment is the clustering output.
+type Assignment struct {
+	// Cluster[d] is the cluster id of document d.
+	Cluster []int
+	// NumClusters is the number of clusters created.
+	NumClusters int
+	// Leaders[c] is the founding document id of cluster c.
+	Leaders []int
+}
+
+// Cluster assigns every tokenized document to a cluster.
+func (l *Leader) Cluster(docs [][]string) Assignment {
+	threshold := l.Threshold
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	maxPostings := l.MaxPostings
+	if maxPostings <= 0 {
+		maxPostings = 128
+	}
+	assign := Assignment{Cluster: make([]int, len(docs))}
+	// Inverted index: token -> cluster ids whose leader contains it.
+	index := make(map[string][]int)
+	leaderTokens := make([][]string, 0)
+	counts := make(map[int]int) // scratch: candidate cluster -> shared tokens
+
+	for d, doc := range docs {
+		clearInts(counts)
+		for _, tok := range doc {
+			for _, c := range index[tok] {
+				counts[c]++
+			}
+		}
+		best, bestSim := -1, threshold
+		for c, shared := range counts {
+			// Jaccard from intersection size and set sizes.
+			union := len(doc) + len(leaderTokens[c]) - shared
+			if union == 0 {
+				continue
+			}
+			sim := float64(shared) / float64(union)
+			if sim > bestSim || (sim == bestSim && best >= 0 && c < best) {
+				best, bestSim = c, sim
+			}
+		}
+		if best < 0 {
+			best = assign.NumClusters
+			assign.NumClusters++
+			assign.Leaders = append(assign.Leaders, d)
+			leaderTokens = append(leaderTokens, doc)
+			for _, tok := range doc {
+				if len(index[tok]) < maxPostings {
+					index[tok] = append(index[tok], best)
+				}
+			}
+		}
+		assign.Cluster[d] = best
+	}
+	return assign
+}
+
+func clearInts(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"depsense/internal/claims"
+	"depsense/internal/model"
+)
+
+// Interval is a two-sided confidence interval for one parameter, clipped
+// to [0, 1].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Width returns the interval width.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// SourceConfidence carries the per-channel intervals of one source.
+type SourceConfidence struct {
+	A, B, F, G Interval
+}
+
+// Confidence quantifies the uncertainty of an estimated parameter set, in
+// the spirit of the Cramér-Rao confidence bounds of Wang et al. (SECON
+// 2012), the paper's reference [17].
+//
+// Intervals are Wald intervals from the complete-data observed Fisher
+// information with the truth posteriors as soft labels: a channel rate p̂
+// estimated from posterior mass N_eff in its stratum gets standard error
+// sqrt(p̂(1-p̂)/N_eff). This attainable approximation ignores the extra
+// uncertainty from the labels themselves being estimated, so intervals are
+// slightly optimistic — exactly the accuracy/scalability trade-off [17]
+// discusses.
+type Confidence struct {
+	Sources []SourceConfidence
+	Z       Interval
+	// Level is the nominal coverage (e.g. 0.95).
+	Level float64
+}
+
+// ErrBadLevel reports an out-of-range confidence level.
+var ErrBadLevel = errors.New("core: confidence level must be in (0, 1)")
+
+// ConfidenceIntervals computes parameter confidence intervals for an
+// estimated θ and its posteriors on the given dataset. Level is the
+// nominal two-sided coverage (e.g. 0.95). Parameters whose stratum carries
+// no posterior mass get the vacuous interval [0, 1].
+func ConfidenceIntervals(ds *claims.Dataset, params *model.Params, posterior []float64, level float64) (*Confidence, error) {
+	if ds.N() == 0 || ds.M() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	if params.NumSources() != ds.N() {
+		return nil, fmt.Errorf("%w: params have %d sources, dataset %d",
+			ErrParamsShape, params.NumSources(), ds.N())
+	}
+	if len(posterior) != ds.M() {
+		return nil, fmt.Errorf("core: %d posteriors for %d assertions", len(posterior), ds.M())
+	}
+	if level <= 0 || level >= 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadLevel, level)
+	}
+	zCrit := normalQuantile(0.5 + level/2)
+
+	sumZ := 0.0
+	for _, z := range posterior {
+		sumZ += z
+	}
+	sumY := float64(ds.M()) - sumZ
+
+	out := &Confidence{Sources: make([]SourceConfidence, ds.N()), Level: level}
+	for i := 0; i < ds.N(); i++ {
+		var depZ, depY float64
+		for _, j := range ds.ClaimsD1(i) {
+			depZ += posterior[j]
+			depY += 1 - posterior[j]
+		}
+		for _, j := range ds.SilentD1(i) {
+			depZ += posterior[j]
+			depY += 1 - posterior[j]
+		}
+		s := params.Sources[i]
+		out.Sources[i] = SourceConfidence{
+			A: waldInterval(s.A, sumZ-depZ, zCrit),
+			B: waldInterval(s.B, sumY-depY, zCrit),
+			F: waldInterval(s.F, depZ, zCrit),
+			G: waldInterval(s.G, depY, zCrit),
+		}
+	}
+	out.Z = waldInterval(params.Z, float64(ds.M()), zCrit)
+	return out, nil
+}
+
+// waldInterval builds p ± z·sqrt(p(1-p)/n), clipped to [0,1]; vacuous when
+// the effective sample size is (numerically) zero.
+func waldInterval(p, nEff, zCrit float64) Interval {
+	if nEff < 1e-9 {
+		return Interval{Lo: 0, Hi: 1}
+	}
+	se := math.Sqrt(p * (1 - p) / nEff)
+	lo := p - zCrit*se
+	hi := p + zCrit*se
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// normalQuantile inverts the standard normal CDF via Acklam's rational
+// approximation (absolute error < 1.15e-9), sufficient for confidence
+// levels.
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	a := [...]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [...]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [...]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [...]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

@@ -1,0 +1,575 @@
+// Package core implements the paper's primary contribution: the
+// dependency-aware maximum-likelihood estimator EM-Ext (Section IV,
+// Algorithm 2). The estimator jointly infers the source parameter set
+// θ = {a_i, b_i, f_i, g_i, z} and per-assertion truth posteriors
+// P(C_j = 1 | SC; θ) from the source-claim matrix and the dependency
+// indicators alone, iterating the E-step of Eq. (9) against the closed-form
+// M-step of Eqs. (10)-(14) until convergence.
+//
+// The same expectation-maximization engine also powers the two model-based
+// baselines the paper compares against — EM (IPSN'12, source independence
+// assumed) and EM-Social (IPSN'14, dependent claims discarded) — selected by
+// a Variant. Those baselines are exposed under internal/baselines; this
+// package exposes EMExt.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"depsense/internal/claims"
+	"depsense/internal/factfind"
+	"depsense/internal/model"
+	"depsense/internal/randutil"
+)
+
+// Variant selects which likelihood the EM engine maximizes.
+type Variant int
+
+// EM variants.
+const (
+	// VariantExt is the paper's dependency-aware estimator: independent
+	// pairs go through the (a_i, b_i) channel, dependent pairs (claimed or
+	// silent) through the (f_i, g_i) channel.
+	VariantExt Variant = iota + 1
+	// VariantIndependent is EM (IPSN'12): the dependency indicators are
+	// ignored and every pair goes through the (a_i, b_i) channel.
+	VariantIndependent
+	// VariantSocial is EM-Social (IPSN'14): dependent claims are treated as
+	// unobserved — they contribute no likelihood factor and are excluded
+	// from the M-step sums.
+	VariantSocial
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case VariantExt:
+		return "EM-Ext"
+	case VariantIndependent:
+		return "EM"
+	case VariantSocial:
+		return "EM-Social"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Options tunes an EM run. The zero value selects sensible defaults.
+type Options struct {
+	// MaxIters caps EM iterations (default 200).
+	MaxIters int
+	// Tol declares convergence when no parameter moves more than Tol
+	// between iterations (default 1e-6).
+	Tol float64
+	// Seed drives the random initialization (Algorithm 2 line 1).
+	Seed int64
+	// Init overrides random initialization with explicit parameters. The
+	// parameter set is copied; the caller's value is not mutated.
+	Init *model.Params
+	// Restarts > 1 runs EM from that many random initializations and keeps
+	// the result with the highest data log-likelihood (default 1).
+	Restarts int
+	// InitMode selects the initialization strategy when Init is nil.
+	InitMode InitMode
+	// Smoothing is the strength (in pseudo-observations) of the M-step's
+	// empirical-Bayes shrinkage for the independent channel (a_i, b_i):
+	// each per-source estimate is pulled toward the pooled all-source
+	// estimate of the same channel. Negative disables all smoothing (the
+	// paper's raw M-step); zero selects the default (2).
+	Smoothing float64
+	// DepSmoothing is the same for the dependent channel (f_i, g_i), which
+	// typically rests on far fewer pairs per source — on Twitter-sparse
+	// data a couple — so it defaults stronger (8). A source with only a
+	// handful of dependent pairs then keeps essentially the pooled
+	// channel, while sources with dozens (dense simulation data) retain
+	// per-source resolution. Zero selects the default; it is ignored when
+	// Smoothing is negative.
+	DepSmoothing float64
+	// DepMode controls how VariantExt fits the dependent channel; see
+	// DepMode. Zero selects DepModeAuto.
+	DepMode DepMode
+	// DenseThreshold is the dependent-pairs-per-source level above which
+	// DepModeAuto selects the joint fit (default 5).
+	DenseThreshold float64
+}
+
+// DepMode selects EM-Ext's strategy for the dependent channel (f_i, g_i).
+//
+// The dependency-aware likelihood is only as identifiable as the dependent
+// strata are populated. On dense matrices (the paper's simulations: tens of
+// dependent pairs per source) the full joint EM of Algorithm 2 works and is
+// the most accurate. On Twitter-sparse matrices (a couple of dependent
+// pairs per source) the per-source dependent parameters are unidentified
+// and the joint likelihood drifts into a "popularity" labeling: heavily
+// retweeted assertions are relabeled true, the dependent channel inverts to
+// match, and accuracy collapses — observed directly, and the likelihood
+// cannot detect it (the drifted optimum scores higher). The plug-in mode
+// guards against this: fit the dependency-blind model first, estimate ONE
+// pooled dependent channel from its posteriors, and re-score once.
+type DepMode int
+
+// Dependent-channel fitting modes.
+const (
+	// DepModeAuto (default) picks DepModeJoint when the dataset has at
+	// least DenseThreshold dependent pairs per source, DepModePlugin
+	// otherwise.
+	DepModeAuto DepMode = iota
+	// DepModeJoint runs the full joint EM over all of θ (Algorithm 2),
+	// staged from the independent fit.
+	DepModeJoint
+	// DepModePlugin fits EM-Social, then plugs in a single pooled
+	// (f, g) estimate and re-scores with one E-step.
+	DepModePlugin
+)
+
+// InitMode selects how EM is initialized when no explicit parameters are
+// given.
+type InitMode int
+
+// Initialization strategies.
+const (
+	// InitDefault resolves to InitVote for every variant. (EM-Ext's joint
+	// mode used InitStaged until the dependent-channel smoothing landed;
+	// with it, vote initialization matches or beats staging on every
+	// simulated regime — see BenchmarkAblationInit.)
+	InitDefault InitMode = iota
+	// InitVote seeds the posteriors with each assertion's smoothed support
+	// fraction and derives θ from an immediate M-step. Anchoring "more
+	// support ⇒ more credible" places EM in the basin where sources are
+	// better than chance, resolving the likelihood's global label-swap
+	// symmetry; restarts perturb the seed posteriors. This is the standard
+	// initialization for truth-discovery EM.
+	InitVote
+	// InitStaged is coarse-to-fine: first fit the independent-source model
+	// (vote-initialized), then refine with the full dependency-aware
+	// likelihood starting from the coarse solution with both channels
+	// initialized to the independent one. This avoids the poor local
+	// optima the 4-parameters-per-source landscape exhibits under
+	// data-blind starts. Used by EM-Ext's joint mode (see DepMode).
+	InitStaged
+	// InitInformed draws random parameters with true-claim probabilities
+	// above false-claim probabilities (label-identified but data-blind).
+	InitInformed
+	// InitRandom draws parameters fully at random ("initialize parameter
+	// set θ with random probability", Algorithm 2 line 1, taken literally).
+	// Subject to label switching; useful for studying the symmetry.
+	InitRandom
+)
+
+func (o Options) normalized() Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
+	if o.Smoothing == 0 {
+		o.Smoothing = 2
+	} else if o.Smoothing < 0 {
+		o.Smoothing = 0
+		o.DepSmoothing = 0
+		return o
+	}
+	if o.DepSmoothing == 0 {
+		o.DepSmoothing = 8
+	} else if o.DepSmoothing < 0 {
+		o.DepSmoothing = 0
+	}
+	return o
+}
+
+// Errors returned by the estimators.
+var (
+	ErrEmptyDataset = errors.New("core: dataset has no sources or no assertions")
+	ErrParamsShape  = errors.New("core: initial parameters do not match dataset")
+)
+
+// EMExt is the paper's dependency-aware estimator.
+type EMExt struct {
+	Opts Options
+}
+
+var _ factfind.FactFinder = (*EMExt)(nil)
+
+// Name implements factfind.FactFinder.
+func (e *EMExt) Name() string { return "EM-Ext" }
+
+// Run implements factfind.FactFinder.
+func (e *EMExt) Run(ds *claims.Dataset) (*factfind.Result, error) {
+	return Run(ds, VariantExt, e.Opts)
+}
+
+// Run executes the EM engine for the given variant.
+func Run(ds *claims.Dataset, variant Variant, opts Options) (*factfind.Result, error) {
+	opts = opts.normalized()
+	if ds.N() == 0 || ds.M() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	if opts.Init != nil {
+		if err := opts.Init.Validate(); err != nil {
+			return nil, fmt.Errorf("core: init params: %w", err)
+		}
+		if opts.Init.NumSources() != ds.N() {
+			return nil, fmt.Errorf("%w: init has %d sources, dataset %d",
+				ErrParamsShape, opts.Init.NumSources(), ds.N())
+		}
+	}
+
+	if variant == VariantExt && opts.Init == nil &&
+		(opts.InitMode == InitDefault || opts.InitMode == InitStaged) {
+		if depMode(ds, opts) == DepModePlugin {
+			return runPlugin(ds, opts)
+		}
+	}
+
+	mode := opts.InitMode
+	if mode == InitDefault {
+		mode = InitVote
+	}
+
+	var best *factfind.Result
+	for r := 0; r < opts.Restarts; r++ {
+		rng := randutil.New(opts.Seed + int64(r)*7919)
+		var init *model.Params
+		var seedPost []float64
+		switch {
+		case opts.Init != nil:
+			init = opts.Init.Clone()
+		case mode == InitStaged:
+			coarseOpts := opts
+			coarseOpts.Init = nil
+			coarseOpts.InitMode = InitVote
+			coarseOpts.Restarts = 1
+			coarseOpts.Seed = opts.Seed + int64(r)*7919
+			coarse, err := Run(ds, VariantIndependent, coarseOpts)
+			if err != nil {
+				return nil, fmt.Errorf("core: staged init: %w", err)
+			}
+			init = coarse.Params.Clone()
+			for i := range init.Sources {
+				s := &init.Sources[i]
+				s.F, s.G = s.A, s.B
+			}
+		case mode == InitInformed:
+			init = model.InformedInitParams(rng, ds.N())
+		case mode == InitRandom:
+			init = model.RandomParams(rng, ds.N())
+		default: // InitVote
+			init = model.NewParams(ds.N(), 0.5)
+			seedPost = votePosteriors(ds, rng, r > 0)
+		}
+		res, err := runOnce(ds, variant, init, seedPost, opts)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.LogLikelihood > best.LogLikelihood {
+			best = res
+		}
+		if opts.Init != nil {
+			break // explicit init: restarts would all be identical
+		}
+	}
+	return best, nil
+}
+
+// votePosteriors seeds per-assertion posteriors from support counts in a
+// scale-free way: count/(count + meanCount), which maps the average-support
+// assertion to 0.5 on dense simulation matrices (tens of claims per
+// assertion) and sparse Twitter-scale ones (one or two claims per
+// assertion) alike. Normalizing by the number of sources instead collapses
+// every seed toward zero on sparse data and strands EM in a degenerate
+// "everything is false" basin. When perturb is set (restart runs after the
+// first), uniform noise moves the seed so restarts explore different basins.
+func votePosteriors(ds *claims.Dataset, rng interface{ Float64() float64 }, perturb bool) []float64 {
+	post := make([]float64, ds.M())
+	mean := 0.0
+	for j := 0; j < ds.M(); j++ {
+		mean += float64(len(ds.Claimants(j)))
+	}
+	mean /= float64(ds.M())
+	if mean <= 0 {
+		mean = 1
+	}
+	for j := range post {
+		count := float64(len(ds.Claimants(j)))
+		p := (count + 0.25) / (count + mean + 0.5)
+		if perturb {
+			p += 0.3 * (rng.Float64() - 0.5)
+		}
+		post[j] = model.ClampProb(p)
+	}
+	return post
+}
+
+// engine holds the per-run scratch state.
+type engine struct {
+	ds        *claims.Dataset
+	variant   Variant
+	smooth    float64
+	smoothDep float64
+
+	// Per-source log-probability tables, refreshed each iteration.
+	logA, log1A []float64
+	logB, log1B []float64
+	logF, log1F []float64
+	logG, log1G []float64
+
+	post []float64 // Z_j = P(C_j = 1 | SC_j; θ)
+
+	// Per-source posterior masses by stratum, rebuilt each M-step:
+	// claimed-independent, claimed-dependent, silent-dependent; Z carries
+	// P(true) mass and Y carries P(false) mass.
+	massAZ, massAY []float64
+	massFZ, massFY []float64
+	silZ, silY     []float64
+}
+
+func runOnce(ds *claims.Dataset, variant Variant, params *model.Params, seedPost []float64, opts Options) (*factfind.Result, error) {
+	n, m := ds.N(), ds.M()
+	eng := &engine{
+		ds:        ds,
+		variant:   variant,
+		smooth:    opts.Smoothing,
+		smoothDep: opts.DepSmoothing,
+		logA:      make([]float64, n),
+		log1A:     make([]float64, n),
+		logB:      make([]float64, n),
+		log1B:     make([]float64, n),
+		logF:      make([]float64, n),
+		log1F:     make([]float64, n),
+		logG:      make([]float64, n),
+		log1G:     make([]float64, n),
+		post:      make([]float64, m),
+		massAZ:    make([]float64, n),
+		massAY:    make([]float64, n),
+		massFZ:    make([]float64, n),
+		massFY:    make([]float64, n),
+		silZ:      make([]float64, n),
+		silY:      make([]float64, n),
+	}
+	params.Clamp()
+	if seedPost != nil {
+		// Vote initialization: derive θ from the seed posteriors via one
+		// M-step before the first E-step.
+		copy(eng.post, seedPost)
+		eng.mStep(params)
+	}
+
+	var (
+		iter      int
+		converged bool
+		ll        float64
+	)
+	prev := params.Clone()
+	for iter = 1; iter <= opts.MaxIters; iter++ {
+		eng.refreshLogs(params)
+		ll = eng.eStep(params)
+		eng.mStep(params)
+		if params.MaxAbsDiff(prev) < opts.Tol {
+			converged = true
+			break
+		}
+		copy(prev.Sources, params.Sources)
+		prev.Z = params.Z
+	}
+	// Final E-step so posteriors reflect the final parameters.
+	eng.refreshLogs(params)
+	ll = eng.eStep(params)
+
+	return &factfind.Result{
+		Posterior:     append([]float64(nil), eng.post...),
+		Params:        params,
+		Iterations:    iter,
+		Converged:     converged,
+		LogLikelihood: ll,
+	}, nil
+}
+
+func (e *engine) refreshLogs(p *model.Params) {
+	for i, s := range p.Sources {
+		e.logA[i] = math.Log(s.A)
+		e.log1A[i] = math.Log(1 - s.A)
+		e.logB[i] = math.Log(s.B)
+		e.log1B[i] = math.Log(1 - s.B)
+		e.logF[i] = math.Log(s.F)
+		e.log1F[i] = math.Log(1 - s.F)
+		e.logG[i] = math.Log(s.G)
+		e.log1G[i] = math.Log(1 - s.G)
+	}
+}
+
+// eStep computes Z_j = P(C_j = 1 | SC_j; θ) for all assertions (Eq. 9) and
+// returns the data log-likelihood (Eq. 7).
+//
+// The all-silent baseline Σ_i log(1-a_i) is shared across assertions; each
+// assertion then applies sparse corrections for its claimants and (under
+// VariantExt) its silent-dependent sources, so the step costs
+// O(n + m + nnz) rather than O(n·m).
+func (e *engine) eStep(p *model.Params) float64 {
+	var base1, base0 float64
+	for i := range p.Sources {
+		base1 += e.log1A[i]
+		base0 += e.log1B[i]
+	}
+	logZ := math.Log(p.Z)
+	log1Z := math.Log(1 - p.Z)
+
+	ll := 0.0
+	for j := 0; j < e.ds.M(); j++ {
+		l1, l0 := base1, base0
+		for _, c := range e.ds.Claimants(j) {
+			i := c.Source
+			switch {
+			case e.variant == VariantExt && c.Dependent:
+				l1 += e.logF[i] - e.log1A[i]
+				l0 += e.logG[i] - e.log1B[i]
+			case e.variant == VariantSocial && c.Dependent:
+				// Pair unobserved: remove the baseline silent factor.
+				l1 -= e.log1A[i]
+				l0 -= e.log1B[i]
+			default:
+				l1 += e.logA[i] - e.log1A[i]
+				l0 += e.logB[i] - e.log1B[i]
+			}
+		}
+		if e.variant == VariantExt {
+			for _, i := range e.ds.SilentDependents(j) {
+				l1 += e.log1F[i] - e.log1A[i]
+				l0 += e.log1G[i] - e.log1B[i]
+			}
+		}
+		w1 := l1 + logZ
+		w0 := l0 + log1Z
+		e.post[j] = sigmoidDiff(w1, w0)
+		ll += logSumExp(w1, w0)
+	}
+	return ll
+}
+
+// mStep recomputes θ from the posteriors (Eqs. 10-14).
+//
+// Each per-source ratio is shrunk toward the pooled all-source estimate of
+// the same channel with e.smooth pseudo-observations (empirical-Bayes
+// smoothing): â = (num_i + s·pooled) / (den_i + s). With s = 0 this is the
+// paper's raw M-step, in which a parameter whose stratum carries no
+// posterior mass keeps its previous value.
+func (e *engine) mStep(p *model.Params) {
+	m := e.ds.M()
+	sumZ := 0.0
+	for _, z := range e.post {
+		sumZ += z
+	}
+	sumY := float64(m) - sumZ
+
+	for i := range p.Sources {
+		e.massAZ[i], e.massAY[i] = 0, 0
+		for _, j := range e.ds.ClaimsD0(i) {
+			e.massAZ[i] += e.post[j]
+			e.massAY[i] += 1 - e.post[j]
+		}
+		e.massFZ[i], e.massFY[i] = 0, 0
+		for _, j := range e.ds.ClaimsD1(i) {
+			e.massFZ[i] += e.post[j]
+			e.massFY[i] += 1 - e.post[j]
+		}
+		e.silZ[i], e.silY[i] = 0, 0
+		for _, j := range e.ds.SilentD1(i) {
+			e.silZ[i] += e.post[j]
+			e.silY[i] += 1 - e.post[j]
+		}
+	}
+
+	// Per-source numerators and denominators of Eqs. (10)-(13) under the
+	// active variant, plus pooled channel totals for shrinkage.
+	var pool [4]ratio // A, B, F, G
+	nums := make([][4]float64, len(p.Sources))
+	dens := make([][4]float64, len(p.Sources))
+	for i := range p.Sources {
+		var r [4]ratio
+		switch e.variant {
+		case VariantExt:
+			depZ := e.massFZ[i] + e.silZ[i]
+			depY := e.massFY[i] + e.silY[i]
+			r[0] = ratio{e.massAZ[i], sumZ - depZ}
+			r[1] = ratio{e.massAY[i], sumY - depY}
+			r[2] = ratio{e.massFZ[i], depZ}
+			r[3] = ratio{e.massFY[i], depY}
+		case VariantIndependent:
+			r[0] = ratio{e.massAZ[i] + e.massFZ[i], sumZ}
+			r[1] = ratio{e.massAY[i] + e.massFY[i], sumY}
+		case VariantSocial:
+			r[0] = ratio{e.massAZ[i], sumZ - e.massFZ[i]}
+			r[1] = ratio{e.massAY[i], sumY - e.massFY[i]}
+		}
+		for c := 0; c < 4; c++ {
+			nums[i][c] = r[c].num
+			dens[i][c] = r[c].den
+			pool[c].num += r[c].num
+			pool[c].den += r[c].den
+		}
+	}
+
+	var pooled, shrink [4]float64
+	for c := 0; c < 4; c++ {
+		if pool[c].den > 0 {
+			pooled[c] = pool[c].num / pool[c].den
+		} else {
+			pooled[c] = 0.5
+		}
+		if c < 2 {
+			shrink[c] = e.smooth
+		} else {
+			shrink[c] = e.smoothDep
+		}
+	}
+
+	for i := range p.Sources {
+		s := &p.Sources[i]
+		dst := [4]*float64{&s.A, &s.B, &s.F, &s.G}
+		for c := 0; c < 4; c++ {
+			if e.variant != VariantExt && c >= 2 {
+				break
+			}
+			den := dens[i][c] + shrink[c]
+			if den <= 1e-12 {
+				continue // unsmoothed empty stratum: keep previous value
+			}
+			*dst[c] = model.ClampProb((nums[i][c] + shrink[c]*pooled[c]) / den)
+		}
+		if e.variant == VariantIndependent {
+			// One channel: keep the dependent parameters mirrored so the
+			// estimated θ remains interpretable downstream.
+			s.F, s.G = s.A, s.B
+		}
+	}
+	p.Z = model.ClampProb(sumZ / float64(m))
+}
+
+// ratio is a numerator/denominator pair of posterior masses.
+type ratio struct{ num, den float64 }
+
+// sigmoidDiff returns exp(w1)/(exp(w1)+exp(w0)) computed stably.
+func sigmoidDiff(w1, w0 float64) float64 {
+	d := w1 - w0
+	if d >= 0 {
+		return 1 / (1 + math.Exp(-d))
+	}
+	ed := math.Exp(d)
+	return ed / (1 + ed)
+}
+
+// logSumExp returns log(exp(a)+exp(b)) computed stably.
+func logSumExp(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if math.IsInf(a, -1) {
+		return a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"depsense/internal/randutil"
+	"depsense/internal/synthetic"
+)
+
+// BenchmarkEMExt measures a full EM-Ext fit at increasing scales.
+func BenchmarkEMExt(b *testing.B) {
+	for _, size := range []struct{ n, m int }{{20, 50}, {50, 50}, {100, 100}, {200, 400}} {
+		cfg := synthetic.EstimatorConfig()
+		cfg.Sources = size.n
+		cfg.Assertions = size.m
+		w, err := synthetic.Generate(cfg, randutil.New(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d_m=%d", size.n, size.m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(w.Dataset, VariantExt, Options{Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEStep isolates one E-step (the per-iteration hot path) via the
+// Posterior scorer.
+func BenchmarkEStep(b *testing.B) {
+	cfg := synthetic.EstimatorConfig()
+	cfg.Sources = 100
+	cfg.Assertions = 200
+	w, err := synthetic.Generate(cfg, randutil.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Posterior(w.Dataset, w.TrueParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"depsense/internal/claims"
+	"depsense/internal/factfind"
+	"depsense/internal/model"
+)
+
+// depMode resolves DepModeAuto against the dataset's dependent-pair
+// density.
+func depMode(ds *claims.Dataset, opts Options) DepMode {
+	if opts.DepMode != DepModeAuto {
+		return opts.DepMode
+	}
+	threshold := opts.DenseThreshold
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if DependentPairsPerSource(ds) >= threshold {
+		return DepModeJoint
+	}
+	return DepModePlugin
+}
+
+// DependentPairsPerSource returns the average number of dependent pairs
+// (dependent claims plus silent-dependent pairs) per source, the
+// identifiability measure DepModeAuto switches on.
+func DependentPairsPerSource(ds *claims.Dataset) float64 {
+	if ds.N() == 0 {
+		return 0
+	}
+	total := ds.NumDependentClaims()
+	for j := 0; j < ds.M(); j++ {
+		total += len(ds.SilentDependents(j))
+	}
+	return float64(total) / float64(ds.N())
+}
+
+// runPlugin is EM-Ext's sparse-regime strategy: fit the dependency-blind
+// EM-Social model, estimate a single pooled dependent channel from its
+// posteriors, and re-score every assertion with one dependency-aware
+// E-step. See DepMode for why the joint fit is not used here.
+func runPlugin(ds *claims.Dataset, opts Options) (*factfind.Result, error) {
+	coarseOpts := opts
+	coarseOpts.InitMode = InitVote
+	coarse, err := Run(ds, VariantSocial, coarseOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: plugin coarse stage: %w", err)
+	}
+	params := coarse.Params.Clone()
+	f, g := PooledDependentChannel(ds, coarse.Posterior)
+	for i := range params.Sources {
+		s := &params.Sources[i]
+		s.F, s.G = f, g
+	}
+	post, ll, err := Posterior(ds, params)
+	if err != nil {
+		return nil, err
+	}
+	return &factfind.Result{
+		Posterior:     post,
+		Params:        params,
+		Iterations:    coarse.Iterations + 1,
+		Converged:     coarse.Converged,
+		LogLikelihood: ll,
+	}, nil
+}
+
+// Plug-in channel estimation constants.
+const (
+	// pluginConfidenceExp is the exponent κ applied to |2Z-1| when
+	// weighting assertions in the pooled channel estimate: near-0.5
+	// posteriors are noise labels and attenuate the estimate toward the
+	// base rate, so confident assertions dominate.
+	pluginConfidenceExp = 4
+	// pluginShrink is the pseudo-pair count pulling the pooled channel
+	// toward the overall dependent claim rate, so datasets with little
+	// dependent structure get a near-neutral (and therefore harmless)
+	// correction.
+	pluginShrink = 200
+	// pluginChannelFloor keeps the pooled channel away from {0, 1}: a
+	// pooled repeat rate estimated at 0.98+ is almost always coordinated
+	// (bot-like) behaviour outside the model's independence assumptions,
+	// and an unclamped value would make every silent-dependent pair
+	// multiply the posterior by (1-f)/(1-g) ≈ 10^4 — one compromised
+	// channel estimate would then reorder the entire ranking.
+	pluginChannelFloor = 0.02
+)
+
+// PooledDependentChannel estimates one dataset-wide dependent channel
+// (f, g) from per-assertion truth posteriors: the posterior-mass-weighted
+// rates of claiming among dependent pairs,
+//
+//	f = Σ_j w_j·Z_j·dep_claims(j) / Σ_j w_j·Z_j·dep_pairs(j)
+//
+// and symmetrically for g with 1-Z_j — the M-step of Eqs. (11) and (13)
+// with all sources pooled. Confidence weights w_j = |2Z_j-1|^κ counter the
+// attenuation that near-0.5 posteriors cause, and both rates are shrunk
+// toward the overall dependent claim rate by a pseudo-pair count so thin
+// dependent structure yields a near-neutral channel.
+func PooledDependentChannel(ds *claims.Dataset, posterior []float64) (f, g float64) {
+	var fNum, fDen, gNum, gDen float64
+	for j := 0; j < ds.M(); j++ {
+		z := posterior[j]
+		w := math.Pow(math.Abs(2*z-1), pluginConfidenceExp)
+		dep := 0
+		for _, c := range ds.Claimants(j) {
+			if c.Dependent {
+				dep++
+			}
+		}
+		pairs := float64(dep + len(ds.SilentDependents(j)))
+		fNum += float64(dep) * z * w
+		fDen += pairs * z * w
+		gNum += float64(dep) * (1 - z) * w
+		gDen += pairs * (1 - z) * w
+	}
+	if fDen+gDen <= 0 {
+		return 0.5, 0.5
+	}
+	base := (fNum + gNum) / (fDen + gDen)
+	f = clampChannel((fNum + pluginShrink*base) / (fDen + pluginShrink))
+	g = clampChannel((gNum + pluginShrink*base) / (gDen + pluginShrink))
+	return f, g
+}
+
+func clampChannel(v float64) float64 {
+	v = model.ClampProb(v)
+	if v < pluginChannelFloor {
+		return pluginChannelFloor
+	}
+	if v > 1-pluginChannelFloor {
+		return 1 - pluginChannelFloor
+	}
+	return v
+}
+
+// Posterior computes P(C_j = 1 | SC; θ) for every assertion under the full
+// dependency-aware model (Eq. 9) together with the data log-likelihood
+// (Eq. 7), without fitting anything — the scoring half of the estimator,
+// usable with known or externally estimated parameters.
+func Posterior(ds *claims.Dataset, p *model.Params) ([]float64, float64, error) {
+	if ds.N() == 0 || ds.M() == 0 {
+		return nil, 0, ErrEmptyDataset
+	}
+	if err := p.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("core: posterior params: %w", err)
+	}
+	if p.NumSources() != ds.N() {
+		return nil, 0, fmt.Errorf("%w: params have %d sources, dataset %d",
+			ErrParamsShape, p.NumSources(), ds.N())
+	}
+	n, m := ds.N(), ds.M()
+	eng := &engine{
+		ds:      ds,
+		variant: VariantExt,
+		logA:    make([]float64, n),
+		log1A:   make([]float64, n),
+		logB:    make([]float64, n),
+		log1B:   make([]float64, n),
+		logF:    make([]float64, n),
+		log1F:   make([]float64, n),
+		logG:    make([]float64, n),
+		log1G:   make([]float64, n),
+		post:    make([]float64, m),
+	}
+	work := p.Clone()
+	work.Clamp()
+	eng.refreshLogs(work)
+	ll := eng.eStep(work)
+	return eng.post, ll, nil
+}

@@ -1,0 +1,233 @@
+// Package depgraph models the influence structure among sources: who can see
+// (and hence repeat) whose claims. A directed edge i -> k means source i
+// follows source k, so k is an ancestor of i in the paper's terminology and
+// claims by k can render later identical claims by i dependent.
+//
+// The package also derives the dependency indicator matrix D from a
+// timestamped claim log (Section II-A, Figure 1): a claim S_iC_j is
+// dependent iff some ancestor of S_i asserted C_j strictly earlier, and a
+// silent pair (i, j) is dependent iff some ancestor of S_i asserted C_j at
+// any time.
+package depgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"depsense/internal/claims"
+)
+
+// Graph is a directed follower graph over n sources. Edges(i) lists the
+// ancestors of i (the sources i follows).
+type Graph struct {
+	n         int
+	ancestors [][]int
+}
+
+// ErrBadSource is returned when an edge references a source out of range.
+var ErrBadSource = errors.New("depgraph: source index out of range")
+
+// NewGraph creates an empty graph over n sources.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, ancestors: make([][]int, n)}
+}
+
+// N returns the number of sources.
+func (g *Graph) N() int { return g.n }
+
+// AddFollow records that follower follows followee (followee becomes an
+// ancestor of follower). Self-follows and duplicates are ignored.
+func (g *Graph) AddFollow(follower, followee int) error {
+	if follower < 0 || follower >= g.n || followee < 0 || followee >= g.n {
+		return fmt.Errorf("%w: follow(%d -> %d) with n=%d", ErrBadSource, follower, followee, g.n)
+	}
+	if follower == followee {
+		return nil
+	}
+	for _, a := range g.ancestors[follower] {
+		if a == followee {
+			return nil
+		}
+	}
+	g.ancestors[follower] = append(g.ancestors[follower], followee)
+	return nil
+}
+
+// Ancestors returns the sources that source i follows. The slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Ancestors(i int) []int { return g.ancestors[i] }
+
+// NumEdges returns the total number of follow edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.ancestors {
+		total += len(a)
+	}
+	return total
+}
+
+// Followers returns the inverse adjacency: followers[k] lists sources that
+// follow k. Computed on demand; used by the Twitter simulator to propagate
+// retweets.
+func (g *Graph) Followers() [][]int {
+	followers := make([][]int, g.n)
+	for i, ancs := range g.ancestors {
+		for _, k := range ancs {
+			followers[k] = append(followers[k], i)
+		}
+	}
+	return followers
+}
+
+// Event is one timestamped claim: source asserted assertion at time t.
+// Times are opaque monotone integers (e.g. Unix seconds or sequence
+// numbers); only their order matters.
+type Event struct {
+	Source    int   `json:"source"`
+	Assertion int   `json:"assertion"`
+	Time      int64 `json:"time"`
+}
+
+// BuildDataset derives the source-claim matrix and the full dependency
+// indicator matrix from a claim log and the follow graph, producing the
+// estimator input of Section II:
+//
+//   - SC[i][j] = 1 iff the log contains an event (i, j, ·); duplicates
+//     collapse to the earliest occurrence.
+//   - For a claimed pair, D[i][j] = 1 iff an ancestor of i asserted j
+//     strictly before i's earliest claim of j.
+//   - For a silent pair, D[i][j] = 1 iff an ancestor of i asserted j at any
+//     time. Only silent pairs reachable through at least one edge are
+//     materialized (the matrix stays sparse).
+//
+// m is the total number of assertions (assertion ids must lie in [0, m)).
+func BuildDataset(g *Graph, events []Event, m int) (*claims.Dataset, error) {
+	// earliest[i][j] = earliest claim time of j by i.
+	earliest := make([]map[int]int64, g.n)
+	for _, e := range events {
+		if e.Source < 0 || e.Source >= g.n {
+			return nil, fmt.Errorf("%w: event source %d with n=%d", ErrBadSource, e.Source, g.n)
+		}
+		if e.Assertion < 0 || e.Assertion >= m {
+			return nil, fmt.Errorf("depgraph: event assertion %d out of range m=%d", e.Assertion, m)
+		}
+		if earliest[e.Source] == nil {
+			earliest[e.Source] = make(map[int]int64)
+		}
+		if t, ok := earliest[e.Source][e.Assertion]; !ok || e.Time < t {
+			earliest[e.Source][e.Assertion] = e.Time
+		}
+	}
+
+	b := claims.NewBuilder(g.n, m)
+	for i := 0; i < g.n; i++ {
+		// Assertions this source claimed.
+		for j, t := range earliest[i] {
+			dep := false
+			for _, anc := range g.ancestors[i] {
+				if ta, ok := earliest[anc][j]; ok && ta < t {
+					dep = true
+					break
+				}
+			}
+			b.AddClaim(i, j, dep)
+		}
+		// Silent pairs: ancestor claimed j, i did not.
+		seen := make(map[int]bool)
+		for _, anc := range g.ancestors[i] {
+			for j := range earliest[anc] {
+				if _, claimed := earliest[i][j]; claimed || seen[j] {
+					continue
+				}
+				seen[j] = true
+				b.MarkSilentDependent(i, j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// SortEvents orders events by time, breaking ties by source then assertion,
+// so downstream processing is deterministic.
+func SortEvents(events []Event) {
+	sort.Slice(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
+		if ea.Time != eb.Time {
+			return ea.Time < eb.Time
+		}
+		if ea.Source != eb.Source {
+			return ea.Source < eb.Source
+		}
+		return ea.Assertion < eb.Assertion
+	})
+}
+
+// Forest builds the paper's synthetic dependency structure (Section V-A): a
+// forest of tau level-two trees over n sources. The first tau sources are
+// roots; every remaining source follows exactly one root, assigned
+// round-robin so trees are balanced. Roots are independent; leaves are
+// dependent on their root. It returns the graph plus the root flag vector.
+func Forest(n, tau int) (*Graph, []bool, error) {
+	g, parent, err := ForestWithDepth(n, tau, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	isRoot := make([]bool, n)
+	for i, p := range parent {
+		isRoot[i] = p < 0
+	}
+	return g, isRoot, nil
+}
+
+// ForestWithDepth generalizes Forest to trees of the given maximum depth
+// (depth 2 is the paper's structure; larger depths model retweets of
+// retweets). The first tau sources are roots; each remaining source is
+// attached round-robin to the earliest source whose subtree still has room
+// above the depth limit, keeping trees balanced level by level. It returns
+// the graph plus each source's parent (-1 for roots).
+func ForestWithDepth(n, tau, depth int) (*Graph, []int, error) {
+	if tau < 1 || tau > n {
+		return nil, nil, fmt.Errorf("depgraph: forest needs 1 <= tau <= n, got tau=%d n=%d", tau, n)
+	}
+	if depth < 2 {
+		return nil, nil, fmt.Errorf("depgraph: forest depth must be >= 2, got %d", depth)
+	}
+	g := NewGraph(n)
+	parent := make([]int, n)
+	level := make([]int, n)
+	for i := 0; i < tau; i++ {
+		parent[i] = -1
+		level[i] = 1
+	}
+	// Fill level by level: level-2 children of the roots first, then
+	// level-3 children of level-2 sources, and so on; overflow past the
+	// depth limit re-enters at level 2.
+	levelStart := 0 // first source of the parents' level
+	levelEnd := tau // one past the last source of the parents' level
+	next := tau
+	for next < n {
+		parentsAvailable := levelEnd - levelStart
+		if parentsAvailable == 0 || level[levelStart] >= depth {
+			// Deepest level reached: wrap back to attaching under roots.
+			levelStart, levelEnd = 0, tau
+			parentsAvailable = tau
+		}
+		fill := n - next
+		if fill > parentsAvailable {
+			fill = parentsAvailable
+		}
+		newStart := next
+		for k := 0; k < fill; k++ {
+			p := levelStart + k
+			parent[next] = p
+			level[next] = level[p] + 1
+			if err := g.AddFollow(next, p); err != nil {
+				return nil, nil, err
+			}
+			next++
+		}
+		levelStart, levelEnd = newStart, next
+	}
+	return g, parent, nil
+}

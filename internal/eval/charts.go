@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"depsense/internal/plot"
+)
+
+// Chart renders the bound-precision sweep (Figs. 3-5) as exact-vs-approx
+// curves.
+func (s BoundSeries) Chart() *plot.Chart {
+	exact := plot.Series{Name: "exact"}
+	approx := plot.Series{Name: "approx (Gibbs)"}
+	for _, p := range s.Points {
+		exact.X = append(exact.X, p.X)
+		exact.Y = append(exact.Y, p.Exact)
+		approx.X = append(approx.X, p.X)
+		approx.Y = append(approx.Y, p.Approx)
+	}
+	return &plot.Chart{
+		Title:  s.Label,
+		XLabel: s.XName,
+		YLabel: "error bound",
+		Series: []plot.Series{exact, approx},
+	}
+}
+
+// TimingChart renders the computation-time comparison (Fig. 6).
+func (s BoundSeries) TimingChart() *plot.Chart {
+	exact := plot.Series{Name: "exact"}
+	approx := plot.Series{Name: "approx (Gibbs)"}
+	for _, p := range s.Points {
+		exact.X = append(exact.X, p.X)
+		exact.Y = append(exact.Y, p.ExactSeconds)
+		approx.X = append(approx.X, p.X)
+		approx.Y = append(approx.Y, p.ApproxSeconds)
+	}
+	return &plot.Chart{
+		Title:  "Fig 6: bound computation time",
+		XLabel: s.XName,
+		YLabel: "seconds per run",
+		Series: []plot.Series{exact, approx},
+	}
+}
+
+// Chart renders the estimator sweep (Figs. 7-10) as one accuracy curve per
+// algorithm, y fixed to [0, 1] as in the paper's figures.
+func (s EstimatorSeries) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  s.Label,
+		XLabel: s.XName,
+		YLabel: "estimation accuracy",
+		YMin:   0.0001, // effectively 0; a literal 0 pair means "auto"
+		YMax:   1,
+	}
+	for _, a := range estimatorAlgNames {
+		series := plot.Series{Name: a}
+		for _, p := range s.Points {
+			series.X = append(series.X, p.X)
+			series.Y = append(series.Y, p.ByAlg[a].Accuracy)
+		}
+		c.Series = append(c.Series, series)
+	}
+	return c
+}
+
+// Chart renders the empirical evaluation (Fig. 11) as one curve per
+// algorithm across the five datasets (x = dataset index, in Table III
+// order).
+func (r EmpiricalResult) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  "Fig 11: empirical top-K accuracy (datasets in Table III order)",
+		XLabel: "dataset index",
+		YLabel: "#True / top-K",
+		YMin:   0.0001,
+		YMax:   1,
+	}
+	for _, a := range EmpiricalAlgNames {
+		series := plot.Series{Name: a}
+		for i, row := range r.Rows {
+			series.X = append(series.X, float64(i+1))
+			series.Y = append(series.Y, row.Scores[a].Accuracy())
+		}
+		c.Series = append(c.Series, series)
+	}
+	return c
+}

@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the sweep as CSV (one row per sweep point), convenient for
+// external plotting of the reproduced figures.
+func (s BoundSeries) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{s.XName, "exact", "approx", "exact_fp", "approx_fp",
+		"exact_fn", "approx_fn", "abs_diff", "exact_seconds", "approx_seconds"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		row := []string{
+			fmtF(p.X), fmtF(p.Exact), fmtF(p.Approx),
+			fmtF(p.ExactFP), fmtF(p.ApproxFP),
+			fmtF(p.ExactFN), fmtF(p.ApproxFN),
+			fmtF(p.AbsDiff), fmtF(p.ExactSeconds), fmtF(p.ApproxSeconds),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the estimator sweep as CSV: accuracy, FP, FN and the 95%
+// CI half-width per algorithm per sweep point.
+func (s EstimatorSeries) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{s.XName}
+	for _, a := range estimatorAlgNames {
+		header = append(header, a+"_acc", a+"_fp", a+"_fn", a+"_ci95")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		row := []string{fmtF(p.X)}
+		for _, a := range estimatorAlgNames {
+			m := p.ByAlg[a]
+			row = append(row, fmtF(m.Accuracy), fmtF(m.FalsePos), fmtF(m.FalseNeg), fmtF(m.CI95))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits one row per (dataset, algorithm) with the graded counts.
+func (r EmpiricalResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "algorithm", "accuracy", "true", "false", "opinion"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		for _, a := range EmpiricalAlgNames {
+			s := row.Scores[a]
+			rec := []string{
+				row.Scenario.Name, a, fmtF(s.Accuracy()),
+				strconv.Itoa(s.True), strconv.Itoa(s.False), strconv.Itoa(s.Opinion),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%g", v) }

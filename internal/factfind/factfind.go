@@ -1,0 +1,84 @@
+// Package factfind defines the common vocabulary shared by every
+// fact-finding algorithm in this repository: the FactFinder interface, the
+// Result type carrying per-assertion credibility scores, and decision /
+// ranking helpers used by the evaluation harness.
+package factfind
+
+import (
+	"sort"
+
+	"depsense/internal/claims"
+	"depsense/internal/model"
+)
+
+// Result is the output of a fact-finder run.
+//
+// Posterior[j] is the algorithm's credibility for assertion j. For the EM
+// estimators it is the actual posterior P(C_j = 1 | SC; θ̂); for the
+// heuristic baselines (Voting, Sums, Average.Log, TruthFinder) it is the
+// algorithm's score normalized into [0, 1], meaningful for ranking but not
+// calibrated as a probability.
+type Result struct {
+	Posterior []float64
+	// Params holds the estimated θ for model-based estimators, nil for
+	// heuristics.
+	Params *model.Params
+	// Iterations is the number of iterations the algorithm ran.
+	Iterations int
+	// Converged reports whether the iteration stopped by its convergence
+	// criterion rather than the iteration cap.
+	Converged bool
+	// LogLikelihood is the final data log-likelihood for EM estimators
+	// (Eq. 7); zero for heuristics.
+	LogLikelihood float64
+}
+
+// FactFinder scores the assertions of a dataset.
+type FactFinder interface {
+	// Name returns the algorithm's display name as used in the paper's
+	// figures (e.g. "EM-Ext", "Voting").
+	Name() string
+	// Run scores every assertion in the dataset.
+	Run(ds *claims.Dataset) (*Result, error)
+}
+
+// DefaultThreshold is the posterior decision threshold used throughout the
+// simulations: an assertion is declared true iff its posterior exceeds it.
+const DefaultThreshold = 0.5
+
+// Decisions thresholds the posteriors into true/false verdicts.
+func (r *Result) Decisions(threshold float64) []bool {
+	out := make([]bool, len(r.Posterior))
+	for j, p := range r.Posterior {
+		out[j] = p > threshold
+	}
+	return out
+}
+
+// Ranking returns assertion ids sorted by decreasing credibility, ties
+// broken by ascending id for determinism. This is the ordering behind the
+// paper's top-100 empirical evaluation.
+func (r *Result) Ranking() []int {
+	ids := make([]int, len(r.Posterior))
+	for j := range ids {
+		ids[j] = j
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		pa, pb := r.Posterior[ids[a]], r.Posterior[ids[b]]
+		if pa != pb {
+			return pa > pb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// TopK returns the K highest-credibility assertion ids (fewer if the
+// dataset is smaller).
+func (r *Result) TopK(k int) []int {
+	ranked := r.Ranking()
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}

@@ -1,0 +1,211 @@
+// Package gibbs implements Gibbs sampling over binary vectors.
+//
+// The error bound of Section III-B needs samples of claim patterns
+// SC_j ∈ {0,1}^n from the marginal P(SC_j) = Σ_c P(C_j=c)·P(SC_j|C_j=c),
+// a two-component mixture of product-of-Bernoulli distributions. The
+// ProductMixtureChain samples from the general H-component version of that
+// family with O(1) work per bit update, by maintaining the running product
+// weights of every mixture component in log space.
+//
+// A generic Sampler over a user-supplied Model is also provided; it is used
+// by tests to cross-check the specialized chain against a from-scratch
+// conditional computation.
+package gibbs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model defines a joint distribution over binary vectors through its full
+// conditionals, the minimal interface Gibbs sampling needs.
+type Model interface {
+	// Len returns the vector dimension.
+	Len() int
+	// CondProbOne returns P(x_i = 1 | x_{-i}) for the current state x.
+	// Implementations may inspect x[i] but must not depend on it.
+	CondProbOne(x []bool, i int) float64
+}
+
+// Sampler runs systematic-scan Gibbs sweeps over a Model.
+type Sampler struct {
+	model Model
+	rng   *rand.Rand
+	state []bool
+}
+
+// NewSampler creates a Sampler with the given initial state; a nil init
+// starts from the all-false vector.
+func NewSampler(m Model, rng *rand.Rand, init []bool) (*Sampler, error) {
+	n := m.Len()
+	state := make([]bool, n)
+	if init != nil {
+		if len(init) != n {
+			return nil, fmt.Errorf("gibbs: init length %d != model length %d", len(init), n)
+		}
+		copy(state, init)
+	}
+	return &Sampler{model: m, rng: rng, state: state}, nil
+}
+
+// Sweep resamples every coordinate once in index order.
+func (s *Sampler) Sweep() {
+	for i := range s.state {
+		s.state[i] = s.rng.Float64() < s.model.CondProbOne(s.state, i)
+	}
+}
+
+// State returns the current vector. The slice is owned by the Sampler; copy
+// it before mutating.
+func (s *Sampler) State() []bool { return s.state }
+
+// ProductMixtureChain samples x ∈ {0,1}^n from
+//
+//	P(x) = Σ_h prior[h] · Π_i pOn[h][i]^x_i (1-pOn[h][i])^(1-x_i)
+//
+// maintaining per-component running log-products so one bit update costs
+// O(H) instead of O(H·n). Numerical drift from incremental updates is
+// bounded by recomputing the products from scratch every refreshEvery
+// sweeps.
+type ProductMixtureChain struct {
+	n        int
+	h        int
+	logOn    [][]float64 // [h][i] log pOn
+	logOff   [][]float64 // [h][i] log (1-pOn)
+	logPrior []float64
+	state    []bool
+	logW     []float64 // logPrior[h] + Σ_i log p_h(x_i)
+	rng      *rand.Rand
+	sweeps   int
+}
+
+// refreshEvery bounds floating-point drift in the incremental log-weights.
+const refreshEvery = 256
+
+// ErrBadMixture is returned for structurally invalid mixture parameters.
+var ErrBadMixture = errors.New("gibbs: invalid mixture specification")
+
+// NewProductMixtureChain validates the mixture and initializes the chain at
+// a random state. Priors must be positive and on-probabilities in (0,1);
+// callers clamp boundary values first (see model.ClampProb).
+func NewProductMixtureChain(prior []float64, pOn [][]float64, rng *rand.Rand) (*ProductMixtureChain, error) {
+	h := len(prior)
+	if h == 0 || len(pOn) != h {
+		return nil, fmt.Errorf("%w: %d priors, %d components", ErrBadMixture, h, len(pOn))
+	}
+	n := len(pOn[0])
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero-length vectors", ErrBadMixture)
+	}
+	c := &ProductMixtureChain{
+		n:        n,
+		h:        h,
+		logOn:    make([][]float64, h),
+		logOff:   make([][]float64, h),
+		logPrior: make([]float64, h),
+		state:    make([]bool, n),
+		logW:     make([]float64, h),
+		rng:      rng,
+	}
+	for k := 0; k < h; k++ {
+		if len(pOn[k]) != n {
+			return nil, fmt.Errorf("%w: component %d has %d probs, want %d", ErrBadMixture, k, len(pOn[k]), n)
+		}
+		if prior[k] <= 0 {
+			return nil, fmt.Errorf("%w: prior[%d] = %v must be positive", ErrBadMixture, k, prior[k])
+		}
+		c.logPrior[k] = math.Log(prior[k])
+		c.logOn[k] = make([]float64, n)
+		c.logOff[k] = make([]float64, n)
+		for i, p := range pOn[k] {
+			if p <= 0 || p >= 1 {
+				return nil, fmt.Errorf("%w: pOn[%d][%d] = %v must be in (0,1)", ErrBadMixture, k, i, p)
+			}
+			c.logOn[k][i] = math.Log(p)
+			c.logOff[k][i] = math.Log(1 - p)
+		}
+	}
+	for i := range c.state {
+		c.state[i] = rng.Float64() < 0.5
+	}
+	c.recomputeWeights()
+	return c, nil
+}
+
+// N returns the vector dimension.
+func (c *ProductMixtureChain) N() int { return c.n }
+
+// recomputeWeights rebuilds the running log-products from the state.
+func (c *ProductMixtureChain) recomputeWeights() {
+	for k := 0; k < c.h; k++ {
+		w := c.logPrior[k]
+		for i, on := range c.state {
+			if on {
+				w += c.logOn[k][i]
+			} else {
+				w += c.logOff[k][i]
+			}
+		}
+		c.logW[k] = w
+	}
+}
+
+// Sweep resamples every bit once. Each bit uses the exact full conditional
+// P(x_i=1 | x_{-i}) = Σ_h W_h^{-i}·pOn[h][i] / Σ_h W_h^{-i}, where W_h^{-i}
+// is the component joint weight with bit i's factor removed.
+func (c *ProductMixtureChain) Sweep() {
+	for i := 0; i < c.n; i++ {
+		c.sampleBit(i)
+	}
+	c.sweeps++
+	if c.sweeps%refreshEvery == 0 {
+		c.recomputeWeights()
+	}
+}
+
+func (c *ProductMixtureChain) sampleBit(i int) {
+	// Remove bit i's factor from every component weight.
+	maxLog := math.Inf(-1)
+	var minus [8]float64 // stack space for the common small-H case
+	var minusSlice []float64
+	if c.h <= len(minus) {
+		minusSlice = minus[:c.h]
+	} else {
+		minusSlice = make([]float64, c.h)
+	}
+	for k := 0; k < c.h; k++ {
+		cur := c.logOff[k][i]
+		if c.state[i] {
+			cur = c.logOn[k][i]
+		}
+		minusSlice[k] = c.logW[k] - cur
+		if minusSlice[k] > maxLog {
+			maxLog = minusSlice[k]
+		}
+	}
+	var num, den float64
+	for k := 0; k < c.h; k++ {
+		w := math.Exp(minusSlice[k] - maxLog)
+		num += w * math.Exp(c.logOn[k][i])
+		den += w * math.Exp(c.logOff[k][i])
+	}
+	pOne := num / (num + den)
+	on := c.rng.Float64() < pOne
+	c.state[i] = on
+	for k := 0; k < c.h; k++ {
+		if on {
+			c.logW[k] = minusSlice[k] + c.logOn[k][i]
+		} else {
+			c.logW[k] = minusSlice[k] + c.logOff[k][i]
+		}
+	}
+}
+
+// State returns the current vector, owned by the chain.
+func (c *ProductMixtureChain) State() []bool { return c.state }
+
+// LogJointWeights returns, for each component h, log(prior[h]·P(x|h)) at
+// the current state. The slice is owned by the chain.
+func (c *ProductMixtureChain) LogJointWeights() []float64 { return c.logW }

@@ -1,0 +1,93 @@
+// Package grader simulates the human grading protocol of Section V-C: the
+// top-ranked assertions of each algorithm are marked "True", "False", or
+// "Opinion", and an algorithm's score is #True/(#True+#False+#Opinion).
+//
+// Real graders researched each tweet's claim; the simulator already knows
+// each tweet's ground-truth assertion, so a pipeline-extracted cluster is
+// graded by the majority ground-truth assertion among its member tweets —
+// the same judgement a human reading the cluster's tweets would reach, with
+// the same exposure to clustering impurity.
+package grader
+
+import (
+	"errors"
+	"fmt"
+
+	"depsense/internal/twittersim"
+)
+
+// Grade labels pipeline clusters against simulator ground truth.
+//
+// messageAssertion maps every pipeline message (tweet) to its cluster;
+// tweets[i].Assertion is the hidden ground-truth assertion; kinds is the
+// ground-truth kind per assertion. The returned slice labels each cluster.
+func Grade(messageAssertion []int, tweets []twittersim.Tweet, kinds []twittersim.Kind) ([]twittersim.Kind, error) {
+	if len(messageAssertion) != len(tweets) {
+		return nil, fmt.Errorf("grader: %d assignments for %d tweets", len(messageAssertion), len(tweets))
+	}
+	numClusters := 0
+	for _, c := range messageAssertion {
+		if c >= numClusters {
+			numClusters = c + 1
+		}
+	}
+	// Majority ground-truth assertion per cluster.
+	type voteMap map[int]int
+	votes := make([]voteMap, numClusters)
+	for i, c := range messageAssertion {
+		if votes[c] == nil {
+			votes[c] = make(voteMap)
+		}
+		votes[c][tweets[i].Assertion]++
+	}
+	labels := make([]twittersim.Kind, numClusters)
+	for c, vm := range votes {
+		bestAssertion, bestCount := -1, 0
+		for a, n := range vm {
+			if n > bestCount || (n == bestCount && a < bestAssertion) {
+				bestAssertion, bestCount = a, n
+			}
+		}
+		if bestAssertion < 0 || bestAssertion >= len(kinds) {
+			return nil, errors.New("grader: cluster with no gradable tweets")
+		}
+		labels[c] = kinds[bestAssertion]
+	}
+	return labels, nil
+}
+
+// Score computes the paper's evaluation metric over a ranked cut-off:
+// #True / (#True + #False + #Opinion).
+type Score struct {
+	True, False, Opinion int
+}
+
+// Accuracy returns #True/(#True+#False+#Opinion), or 0 for an empty cut.
+func (s Score) Accuracy() float64 {
+	total := s.True + s.False + s.Opinion
+	if total == 0 {
+		return 0
+	}
+	return float64(s.True) / float64(total)
+}
+
+// ScoreTopK grades the ranked prefix.
+func ScoreTopK(ranked []int, labels []twittersim.Kind) (Score, error) {
+	var s Score
+	for _, c := range ranked {
+		if c < 0 || c >= len(labels) {
+			return Score{}, fmt.Errorf("grader: ranked cluster %d outside %d labels", c, len(labels))
+		}
+		switch labels[c] {
+		case twittersim.KindTrue:
+			s.True++
+		case twittersim.KindFalse:
+			s.False++
+		case twittersim.KindOpinion:
+			s.Opinion++
+		default:
+			return Score{}, fmt.Errorf("grader: cluster %d has invalid label %v", c, labels[c])
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,98 @@
+package grader
+
+import (
+	"testing"
+
+	"depsense/internal/twittersim"
+)
+
+func tweets(assertions ...int) []twittersim.Tweet {
+	out := make([]twittersim.Tweet, len(assertions))
+	for i, a := range assertions {
+		out[i] = twittersim.Tweet{ID: i, Assertion: a}
+	}
+	return out
+}
+
+func TestGradeMajority(t *testing.T) {
+	kinds := []twittersim.Kind{twittersim.KindTrue, twittersim.KindFalse, twittersim.KindOpinion}
+	// Cluster 0: two tweets of assertion 0 (true) and one of assertion 1
+	// (false) — an impure cluster graded by majority.
+	assign := []int{0, 0, 0, 1}
+	tw := tweets(0, 0, 1, 2)
+	labels, err := Grade(assign, tw, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 2 {
+		t.Fatalf("labels = %v", labels)
+	}
+	if labels[0] != twittersim.KindTrue {
+		t.Fatalf("cluster 0 label = %v", labels[0])
+	}
+	if labels[1] != twittersim.KindOpinion {
+		t.Fatalf("cluster 1 label = %v", labels[1])
+	}
+}
+
+func TestGradeTieBreaksDeterministically(t *testing.T) {
+	kinds := []twittersim.Kind{twittersim.KindTrue, twittersim.KindFalse}
+	assign := []int{0, 0}
+	tw := tweets(1, 0) // one vote each; lower assertion id wins
+	labels, err := Grade(assign, tw, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != twittersim.KindTrue {
+		t.Fatalf("tie label = %v", labels[0])
+	}
+}
+
+func TestGradeValidation(t *testing.T) {
+	if _, err := Grade([]int{0}, nil, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	// Tweet referencing an assertion with no kind.
+	if _, err := Grade([]int{0}, tweets(5), []twittersim.Kind{twittersim.KindTrue}); err == nil {
+		t.Fatal("out-of-range assertion accepted")
+	}
+}
+
+func TestScoreTopK(t *testing.T) {
+	labels := []twittersim.Kind{
+		twittersim.KindTrue, twittersim.KindFalse, twittersim.KindOpinion, twittersim.KindTrue,
+	}
+	s, err := ScoreTopK([]int{0, 1, 2, 3}, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.True != 2 || s.False != 1 || s.Opinion != 1 {
+		t.Fatalf("score = %+v", s)
+	}
+	if s.Accuracy() != 0.5 {
+		t.Fatalf("accuracy = %v", s.Accuracy())
+	}
+}
+
+func TestScoreTopKValidation(t *testing.T) {
+	labels := []twittersim.Kind{twittersim.KindTrue}
+	if _, err := ScoreTopK([]int{3}, labels); err == nil {
+		t.Fatal("out-of-range cluster accepted")
+	}
+	if _, err := ScoreTopK([]int{0}, []twittersim.Kind{0}); err == nil {
+		t.Fatal("invalid label accepted")
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	if (Score{}).Accuracy() != 0 {
+		t.Fatal("empty score accuracy != 0")
+	}
+	s, err := ScoreTopK(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Accuracy() != 0 {
+		t.Fatal("nil ranking accuracy != 0")
+	}
+}

@@ -1,0 +1,243 @@
+// Package httpapi exposes the fact-finding pipeline as a small HTTP
+// service: POST a message stream, get back ranked assertions with
+// credibility scores. It exists for deployments that want Apollo-style
+// fact-finding behind a network interface rather than a CLI.
+//
+// Endpoints:
+//
+//	GET  /healthz        — liveness probe
+//	GET  /v1/algorithms  — the available fact-finder names
+//	POST /v1/factfind    — run the pipeline; see Request/Response
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"depsense/internal/apollo"
+	"depsense/internal/baselines"
+	"depsense/internal/depgraph"
+	"depsense/internal/factfind"
+	"depsense/internal/tweetjson"
+)
+
+// Options tunes the server.
+type Options struct {
+	// MaxBodyBytes caps request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// DefaultTopK is the ranked output size when the request does not set
+	// one (default 100).
+	DefaultTopK int
+	// Seed drives the estimators' initialization.
+	Seed int64
+}
+
+// Server is the HTTP facade over the Apollo pipeline.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// New builds the server.
+func New(opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 32 << 20
+	}
+	if opts.DefaultTopK <= 0 {
+		opts.DefaultTopK = 100
+	}
+	s := &Server{opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("/v1/factfind", s.handleFactFind)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Message is one input message.
+type Message struct {
+	// Source is the author's dense id in [0, Sources).
+	Source int `json:"source"`
+	// Time orders messages (any monotone integer scale).
+	Time int64 `json:"time"`
+	// Text is the message body.
+	Text string `json:"text"`
+}
+
+// Request is the /v1/factfind payload.
+type Request struct {
+	// Sources is the source id space size. Ignored (derived) for
+	// format "twitter-json".
+	Sources int `json:"sources"`
+	// Follows lists [follower, followee] pairs.
+	Follows [][2]int `json:"follows"`
+	// Messages is the stream, for the default format.
+	Messages []Message `json:"messages"`
+	// Archive carries a raw Twitter v1.1 archive (JSONL or array) when
+	// Format is "twitter-json".
+	Archive string `json:"archive,omitempty"`
+	// Format selects the input format: "" (messages) or "twitter-json".
+	Format string `json:"format,omitempty"`
+	// Algorithm names the fact-finder (default "EM-Ext").
+	Algorithm string `json:"algorithm,omitempty"`
+	// TopK bounds the ranked output.
+	TopK int `json:"topK,omitempty"`
+}
+
+// RankedAssertion is one output row.
+type RankedAssertion struct {
+	Assertion int     `json:"assertion"`
+	Posterior float64 `json:"posterior"`
+	Text      string  `json:"text"`
+	Claims    int     `json:"claims"`
+	Dependent int     `json:"dependentClaims"`
+}
+
+// Response is the /v1/factfind result.
+type Response struct {
+	Algorithm  string            `json:"algorithm"`
+	Sources    int               `json:"sources"`
+	Assertions int               `json:"assertions"`
+	Claims     int               `json:"claims"`
+	Dependent  int               `json:"dependentClaims"`
+	Converged  bool              `json:"converged"`
+	Iterations int               `json:"iterations"`
+	Ranked     []RankedAssertion `json:"ranked"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"status":"ok"}`))
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	names := make([]string, 0, 9)
+	for _, alg := range baselines.Extended(s.opts.Seed) {
+		names = append(names, alg.Name())
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"algorithms": names})
+}
+
+func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var req Request
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+
+	in, err := s.buildInput(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	finder := pickAlgorithm(req.Algorithm, s.opts.Seed)
+	if finder == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm))
+		return
+	}
+	topK := req.TopK
+	if topK <= 0 {
+		topK = s.opts.DefaultTopK
+	}
+	out, err := apollo.Run(in, finder, apollo.Options{TopK: topK})
+	if err != nil {
+		status := http.StatusBadRequest
+		if !errors.Is(err, apollo.ErrNoMessages) && !errors.Is(err, apollo.ErrGraphSize) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
+		return
+	}
+
+	resp := Response{
+		Algorithm:  finder.Name(),
+		Sources:    out.Dataset.N(),
+		Assertions: out.Dataset.M(),
+		Claims:     out.Dataset.NumClaims(),
+		Dependent:  out.Dataset.NumDependentClaims(),
+		Converged:  out.Result.Converged,
+		Iterations: out.Result.Iterations,
+	}
+	for _, c := range out.Ranked {
+		dep := 0
+		for _, cl := range out.Dataset.Claimants(c) {
+			if cl.Dependent {
+				dep++
+			}
+		}
+		resp.Ranked = append(resp.Ranked, RankedAssertion{
+			Assertion: c,
+			Posterior: out.Result.Posterior[c],
+			Text:      out.RepresentativeText[c],
+			Claims:    len(out.Dataset.Claimants(c)),
+			Dependent: dep,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) buildInput(req Request) (apollo.Input, error) {
+	if strings.EqualFold(req.Format, "twitter-json") {
+		tweets, err := tweetjson.Parse(strings.NewReader(req.Archive))
+		if err != nil {
+			return apollo.Input{}, err
+		}
+		in, _, err := tweetjson.ToPipeline(tweets)
+		return in, err
+	}
+	graph := depgraph.NewGraph(req.Sources)
+	for _, e := range req.Follows {
+		if err := graph.AddFollow(e[0], e[1]); err != nil {
+			return apollo.Input{}, err
+		}
+	}
+	msgs := make([]apollo.Message, len(req.Messages))
+	for i, m := range req.Messages {
+		msgs[i] = apollo.Message{Source: m.Source, Time: m.Time, Text: m.Text}
+	}
+	return apollo.Input{NumSources: req.Sources, Messages: msgs, Graph: graph}, nil
+}
+
+func pickAlgorithm(name string, seed int64) factfind.FactFinder {
+	if name == "" {
+		name = "EM-Ext"
+	}
+	for _, alg := range baselines.Extended(seed) {
+		if strings.EqualFold(alg.Name(), name) {
+			return alg
+		}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}

@@ -1,0 +1,89 @@
+// Package parallel provides a minimal bounded worker pool for
+// embarrassingly parallel experiment sweeps. Work items are indexed so
+// callers can write results into pre-allocated slots and aggregate
+// deterministically afterwards regardless of scheduling order.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS). It waits for all items to finish and
+// returns the error of the lowest-indexed item that failed, if any. fn must
+// be safe to call concurrently; writing to disjoint result slots is the
+// intended aggregation pattern.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return fmt.Errorf("parallel: item %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+		next     int
+		wg       sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstIdx < 0 || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+	}
+	takeNext := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n || firstIdx >= 0 {
+			// Stop dispatching after the first failure; in-flight items
+			// still run to completion.
+			if next >= n {
+				return 0, false
+			}
+			if firstIdx >= 0 {
+				return 0, false
+			}
+		}
+		i := next
+		next++
+		return i, true
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := takeNext()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return fmt.Errorf("parallel: item %d: %w", firstIdx, firstErr)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package parallel
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var hits [100]int32
+		err := ForEach(100, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReportsLowestFailure(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(50, 8, func(i int) error {
+		if i == 7 || i == 31 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "item 7") {
+		t.Fatalf("not lowest-indexed failure: %v", err)
+	}
+}
+
+func TestForEachStopsDispatchingAfterFailure(t *testing.T) {
+	var ran int32
+	_ = ForEach(10000, 2, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if got := atomic.LoadInt32(&ran); got > 5000 {
+		t.Fatalf("dispatch did not stop early: %d items ran", got)
+	}
+}
+
+func TestForEachSequentialWhenOneWorker(t *testing.T) {
+	// With one worker the order must be strictly sequential (the fast
+	// path), which ForEach guarantees by running inline.
+	last := -1
+	err := ForEach(100, 1, func(i int) error {
+		if i != last+1 {
+			t.Fatalf("out of order: %d after %d", i, last)
+		}
+		last = i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

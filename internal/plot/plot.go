@@ -1,0 +1,242 @@
+// Package plot renders line charts as standalone SVG documents using only
+// the standard library. The experiment harness uses it to regenerate the
+// paper's figures as actual plots (cmd/experiments -svg), not just tables.
+//
+// The renderer covers what scientific line charts need and nothing more:
+// margins, x/y axes with 1-2-5 tick progression, grid lines, one polyline
+// with point markers per series, and a legend.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a renderable line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height are the SVG dimensions in pixels (default 720×440).
+	Width, Height int
+	// YMin/YMax fix the y range when both are set (YMax > YMin);
+	// otherwise the range is derived from the data with 5% padding.
+	YMin, YMax float64
+}
+
+// Errors returned by the renderer.
+var (
+	ErrNoSeries   = errors.New("plot: chart has no series")
+	ErrBadSeries  = errors.New("plot: series has mismatched or empty x/y")
+	ErrBadYRange  = errors.New("plot: YMin/YMax invalid")
+	ErrNotFiniteX = errors.New("plot: non-finite coordinate")
+)
+
+// palette holds the line colors, chosen to stay distinguishable in print.
+var palette = [...]string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// markers cycle alongside colors so series stay distinguishable without
+// color.
+var markers = [...]string{"circle", "square", "diamond", "triangle"}
+
+// RenderSVG writes the chart as a complete SVG document.
+func (c *Chart) RenderSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return ErrNoSeries
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 440
+	}
+	const (
+		marginLeft   = 64
+		marginRight  = 160
+		marginTop    = 40
+		marginBottom = 52
+	)
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+	if plotW < 50 || plotH < 50 {
+		return fmt.Errorf("plot: chart %dx%d too small", width, height)
+	}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return fmt.Errorf("%w: %q has %d x and %d y", ErrBadSeries, s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if !isFinite(s.X[i]) || !isFinite(s.Y[i]) {
+				return fmt.Errorf("%w: %q[%d]", ErrNotFiniteX, s.Name, i)
+			}
+			xMin, xMax = math.Min(xMin, s.X[i]), math.Max(xMax, s.X[i])
+			yMin, yMax = math.Min(yMin, s.Y[i]), math.Max(yMax, s.Y[i])
+		}
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		if c.YMax <= c.YMin {
+			return fmt.Errorf("%w: [%v, %v]", ErrBadYRange, c.YMin, c.YMax)
+		}
+		yMin, yMax = c.YMin, c.YMax
+	} else {
+		pad := (yMax - yMin) * 0.05
+		if pad == 0 {
+			pad = math.Max(math.Abs(yMax)*0.05, 0.5)
+		}
+		yMin -= pad
+		yMax += pad
+	}
+	if xMax == xMin {
+		xMin -= 0.5
+		xMax += 0.5
+	}
+
+	toX := func(v float64) float64 { return marginLeft + (v-xMin)/(xMax-xMin)*plotW }
+	toY := func(v float64) float64 { return marginTop + plotH - (v-yMin)/(yMax-yMin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`+"\n",
+			marginLeft, escape(c.Title))
+	}
+
+	// Grid and ticks.
+	for _, t := range ticks(yMin, yMax, 6) {
+		y := toY(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#e0e0e0"/>`+"\n",
+			marginLeft, y, float64(marginLeft)+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-8, y+4, tickLabel(t))
+	}
+	for _, t := range ticks(xMin, xMax, 8) {
+		x := toX(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#e0e0e0"/>`+"\n",
+			x, marginTop, x, float64(marginTop)+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, float64(marginTop)+plotH+16, tickLabel(t))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, float64(marginTop)+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, float64(marginTop)+plotH, float64(marginLeft)+plotW, float64(marginTop)+plotH)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			float64(marginLeft)+plotW/2, height-10, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+			float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, escape(c.YLabel))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts strings.Builder
+		for i := range s.X {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", toX(s.X[i]), toY(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n",
+			color, pts.String())
+		for i := range s.X {
+			writeMarker(&b, markers[si%len(markers)], toX(s.X[i]), toY(s.Y[i]), color)
+		}
+	}
+
+	// Legend.
+	lx := marginLeft + int(plotW) + 14
+	for si, s := range c.Series {
+		ly := marginTop + 16 + 20*si
+		color := palette[si%len(palette)]
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1.8"/>`+"\n",
+			lx, ly, lx+22, ly, color)
+		writeMarker(&b, markers[si%len(markers)], float64(lx+11), float64(ly), color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n",
+			lx+28, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeMarker(b *strings.Builder, kind string, x, y float64, color string) {
+	const r = 3.2
+	switch kind {
+	case "square":
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x-r, y-r, 2*r, 2*r, color)
+	case "diamond":
+		fmt.Fprintf(b, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="%s"/>`+"\n",
+			x, y-r-1, x+r+1, y, x, y+r+1, x-r-1, y, color)
+	case "triangle":
+		fmt.Fprintf(b, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="%s"/>`+"\n",
+			x, y-r-1, x+r+1, y+r, x-r-1, y+r, color)
+	default:
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, color)
+	}
+}
+
+// ticks returns at most maxTicks nicely rounded values covering [lo, hi],
+// on the classic 1-2-5 progression.
+func ticks(lo, hi float64, maxTicks int) []float64 {
+	if hi <= lo || maxTicks < 2 {
+		return []float64{lo}
+	}
+	rawStep := (hi - lo) / float64(maxTicks)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch {
+	case rawStep/mag <= 1:
+		step = mag
+	case rawStep/mag <= 2:
+		step = 2 * mag
+	case rawStep/mag <= 5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	first := math.Ceil(lo/step) * step
+	var out []float64
+	for v := first; v <= hi+step*1e-9; v += step {
+		// Snap tiny float drift to the lattice.
+		out = append(out, math.Round(v/step)*step)
+	}
+	return out
+}
+
+func tickLabel(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,164 @@
+package plot
+
+import (
+	"encoding/xml"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "accuracy vs n",
+		XLabel: "n",
+		YLabel: "accuracy",
+		Series: []Series{
+			{Name: "EM-Ext", X: []float64{10, 20, 30}, Y: []float64{0.7, 0.8, 0.85}},
+			{Name: "EM", X: []float64{10, 20, 30}, Y: []float64{0.6, 0.65, 0.7}},
+		},
+	}
+}
+
+func render(t *testing.T, c *Chart) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := c.RenderSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRenderWellFormedXML(t *testing.T) {
+	out := render(t, sampleChart())
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestRenderContainsSeriesAndLabels(t *testing.T) {
+	out := render(t, sampleChart())
+	for _, want := range []string{
+		"<polyline", "EM-Ext", ">EM<", "accuracy vs n", ">n<", "accuracy",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in SVG", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("%d polylines, want 2", got)
+	}
+}
+
+func TestRenderEscapesText(t *testing.T) {
+	c := sampleChart()
+	c.Title = `a < b & "c"`
+	out := render(t, c)
+	if strings.Contains(out, `a < b &`) {
+		t.Fatal("unescaped text in SVG")
+	}
+	if !strings.Contains(out, "a &lt; b &amp;") {
+		t.Fatal("escape output missing")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Chart{}).RenderSVG(&sb); !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("want ErrNoSeries, got %v", err)
+	}
+	c := &Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: nil}}}
+	if err := c.RenderSVG(&sb); !errors.Is(err, ErrBadSeries) {
+		t.Fatalf("want ErrBadSeries, got %v", err)
+	}
+	c = &Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{math.NaN()}}}}
+	if err := c.RenderSVG(&sb); !errors.Is(err, ErrNotFiniteX) {
+		t.Fatalf("want ErrNotFiniteX, got %v", err)
+	}
+	c = sampleChart()
+	c.YMin, c.YMax = 1, 0.5
+	if err := c.RenderSVG(&sb); !errors.Is(err, ErrBadYRange) {
+		t.Fatalf("want ErrBadYRange, got %v", err)
+	}
+}
+
+func TestRenderDegenerateData(t *testing.T) {
+	// Single point, constant series: must render without NaN coordinates.
+	c := &Chart{Series: []Series{{Name: "dot", X: []float64{5}, Y: []float64{1}}}}
+	out := render(t, c)
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+	c = &Chart{Series: []Series{{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{2, 2, 2}}}}
+	out = render(t, c)
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN leaked into SVG for constant series")
+	}
+}
+
+func TestRenderFixedYRange(t *testing.T) {
+	c := sampleChart()
+	c.YMin, c.YMax = 0, 1
+	out := render(t, c)
+	// The fixed [0,1] range produces a 0 tick and a 1 tick.
+	if !strings.Contains(out, ">0<") || !strings.Contains(out, ">1<") {
+		t.Fatalf("fixed-range ticks missing:\n%s", out)
+	}
+}
+
+func TestTicks(t *testing.T) {
+	got := ticks(0, 1, 6)
+	if len(got) < 4 || got[0] != 0 {
+		t.Fatalf("ticks(0,1) = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("ticks not increasing: %v", got)
+		}
+		if got[i] > 1+1e-9 {
+			t.Fatalf("tick out of range: %v", got)
+		}
+	}
+	got = ticks(17, 123, 8)
+	for _, v := range got {
+		if v < 17 || v > 123 {
+			t.Fatalf("tick %v outside [17,123]", v)
+		}
+	}
+	if got := ticks(5, 5, 6); len(got) != 1 {
+		t.Fatalf("degenerate ticks = %v", got)
+	}
+}
+
+func TestTickLabel(t *testing.T) {
+	cases := map[float64]string{
+		3:    "3",
+		0.25: "0.25",
+		0.1:  "0.1",
+		-2:   "-2",
+	}
+	for v, want := range cases {
+		if got := tickLabel(v); got != want {
+			t.Errorf("tickLabel(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestMarkersVary(t *testing.T) {
+	c := &Chart{Series: []Series{
+		{Name: "a", X: []float64{1}, Y: []float64{1}},
+		{Name: "b", X: []float64{1}, Y: []float64{2}},
+		{Name: "c", X: []float64{1}, Y: []float64{3}},
+	}}
+	out := render(t, c)
+	if !strings.Contains(out, "<circle") || !strings.Contains(out, "<rect x=") || !strings.Contains(out, "<polygon") {
+		t.Fatal("marker shapes not varied across series")
+	}
+}

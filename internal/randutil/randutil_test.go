@@ -1,0 +1,224 @@
+package randutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformBounds(t *testing.T) {
+	rng := New(1)
+	for i := 0; i < 1000; i++ {
+		v := Uniform(rng, 0.25, 0.75)
+		if v < 0.25 || v >= 0.75 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	rng := New(1)
+	if v := Uniform(rng, 0.4, 0.4); v != 0.4 {
+		t.Fatalf("degenerate Uniform = %v, want 0.4", v)
+	}
+}
+
+func TestUniformPanicsOnInvertedRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for hi < lo")
+		}
+	}()
+	Uniform(New(1), 1, 0)
+}
+
+func TestUniformIntBounds(t *testing.T) {
+	rng := New(2)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := UniformInt(rng, 3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("UniformInt out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for want := 3; want <= 7; want++ {
+		if !seen[want] {
+			t.Errorf("UniformInt never produced %d", want)
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	rng := New(3)
+	for i := 0; i < 100; i++ {
+		if Bernoulli(rng, 0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !Bernoulli(rng, 1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	rng := New(4)
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if Bernoulli(rng, 0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestPickPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty slice")
+		}
+	}()
+	Pick(New(1), nil)
+}
+
+func TestPickCoversAll(t *testing.T) {
+	rng := New(5)
+	xs := []int{10, 20, 30}
+	seen := make(map[int]bool)
+	for i := 0; i < 300; i++ {
+		seen[Pick(rng, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Pick covered %d of 3 values", len(seen))
+	}
+}
+
+func TestSampleWithoutReplacementDistinct(t *testing.T) {
+	rng := New(6)
+	err := quick.Check(func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw % 60)
+		got := SampleWithoutReplacement(rng, n, k)
+		want := k
+		if k >= n {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		seen := make(map[int]bool, len(got))
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWithoutReplacementUniformity(t *testing.T) {
+	rng := New(7)
+	counts := make([]int, 10)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, v := range SampleWithoutReplacement(rng, 10, 3) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		rate := float64(c) / trials
+		if math.Abs(rate-0.3) > 0.02 {
+			t.Fatalf("value %d sampled at rate %v, want ~0.3", v, rate)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	rng := New(8)
+	xs := []int{1, 2, 3, 4, 5}
+	Shuffle(rng, xs)
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	for v := 1; v <= 5; v++ {
+		if !seen[v] {
+			t.Fatalf("Shuffle lost element %d", v)
+		}
+	}
+}
+
+func TestZipfPickerSkew(t *testing.T) {
+	rng := New(9)
+	p := NewZipfPicker(100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[p.Pick(rng)]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 20000 {
+		t.Fatalf("lost draws: %d", total)
+	}
+}
+
+func TestZipfPickerUniformWhenSZero(t *testing.T) {
+	rng := New(10)
+	p := NewZipfPicker(4, 0)
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[p.Pick(rng)]++
+	}
+	for i, c := range counts {
+		rate := float64(c) / 40000
+		if math.Abs(rate-0.25) > 0.02 {
+			t.Fatalf("s=0 Zipf not uniform at %d: %v", i, rate)
+		}
+	}
+}
+
+func TestNewZipfPickerPanicsOnZeroN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	NewZipfPicker(0, 1)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := New(11)
+	p := Perm(rng, 20)
+	if len(p) != 20 {
+		t.Fatalf("Perm length %d", len(p))
+	}
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package stream provides an incremental fact-finder for social data
+// streams, the extension direction the paper cites as [21] (Yao et al.,
+// "Recursive ground truth estimator for social data streams", IPSN 2016).
+//
+// A stream.Estimator ingests timestamped claims in batches. After each
+// batch it rebuilds the (sparse) dataset seen so far and re-estimates truth
+// posteriors with EM-Ext — but warm-started from the previous batch's
+// parameter estimates, so late batches converge in a handful of iterations
+// instead of a full cold fit. Sources and assertions may appear at any
+// time; the id spaces grow monotonically.
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"depsense/internal/claims"
+	"depsense/internal/core"
+	"depsense/internal/depgraph"
+	"depsense/internal/factfind"
+	"depsense/internal/model"
+)
+
+// Options tunes the incremental estimator.
+type Options struct {
+	// EM configures the underlying estimator; Seed and DepMode are
+	// honored. Its MaxIters applies to the cold first fit.
+	EM core.Options
+	// WarmMaxIters caps the warm-started refits after later batches
+	// (default 60 — warm starts need fewer iterations than a cold
+	// fit).
+	WarmMaxIters int
+	// WarmTol is the convergence tolerance of warm refits (default 1e-3).
+	// Streaming estimates are revised on the next batch anyway, so the
+	// cold fit's strict tolerance buys nothing but iterations here.
+	WarmTol float64
+}
+
+// Estimator accumulates a claim stream and maintains truth estimates.
+type Estimator struct {
+	opts      Options
+	graph     *depgraph.Graph
+	events    []depgraph.Event
+	numSrc    int
+	numAssert int
+
+	params *model.Params // warm-start parameters from the last fit
+	last   *factfind.Result
+	lastDS *claims.Dataset
+	fits   int
+}
+
+// New creates an empty streaming estimator.
+func New(opts Options) *Estimator {
+	if opts.WarmMaxIters <= 0 {
+		opts.WarmMaxIters = 60
+	}
+	if opts.WarmTol <= 0 {
+		opts.WarmTol = 1e-3
+	}
+	return &Estimator{opts: opts, graph: depgraph.NewGraph(0)}
+}
+
+// Errors returned by the estimator.
+var (
+	ErrNoData   = errors.New("stream: no claims ingested yet")
+	ErrBadEvent = errors.New("stream: invalid event")
+)
+
+// ObserveFollow records a follow edge (follower sees followee's claims).
+// New source ids grow the id space.
+func (e *Estimator) ObserveFollow(follower, followee int) error {
+	if follower < 0 || followee < 0 {
+		return fmt.Errorf("%w: follow(%d -> %d)", ErrBadEvent, follower, followee)
+	}
+	e.growSources(max(follower, followee) + 1)
+	return e.graph.AddFollow(follower, followee)
+}
+
+// AddBatch ingests a batch of claims and refits the estimator.
+func (e *Estimator) AddBatch(batch []depgraph.Event) (*factfind.Result, error) {
+	for _, ev := range batch {
+		if ev.Source < 0 || ev.Assertion < 0 {
+			return nil, fmt.Errorf("%w: %+v", ErrBadEvent, ev)
+		}
+		e.growSources(ev.Source + 1)
+		if ev.Assertion >= e.numAssert {
+			e.numAssert = ev.Assertion + 1
+		}
+		e.events = append(e.events, ev)
+	}
+	if len(e.events) == 0 {
+		return nil, ErrNoData
+	}
+	ds, err := depgraph.BuildDataset(e.graph, e.events, e.numAssert)
+	if err != nil {
+		return nil, err
+	}
+
+	opts := e.opts.EM
+	if e.params != nil && e.params.NumSources() == ds.N() {
+		opts.Init = e.params
+		opts.MaxIters = e.opts.WarmMaxIters
+		opts.Tol = e.opts.WarmTol
+	}
+	res, err := core.Run(ds, core.VariantExt, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.params = res.Params.Clone()
+	e.last = res
+	e.lastDS = ds
+	e.fits++
+	return res, nil
+}
+
+// growSources extends the id space and carries prior parameter estimates
+// over, giving brand-new sources neutral warm-start channels.
+func (e *Estimator) growSources(n int) {
+	if n <= e.numSrc {
+		return
+	}
+	grown := depgraph.NewGraph(n)
+	for i := 0; i < e.numSrc; i++ {
+		for _, anc := range e.graph.Ancestors(i) {
+			// Re-adding within a larger graph cannot fail: indices are
+			// in range by construction.
+			_ = grown.AddFollow(i, anc)
+		}
+	}
+	e.graph = grown
+	if e.params != nil {
+		p := model.NewParams(n, e.params.Z)
+		copy(p.Sources, e.params.Sources)
+		for i := e.numSrc; i < n; i++ {
+			p.Sources[i] = model.SourceParams{A: 0.5, B: 0.5, F: 0.5, G: 0.5}
+		}
+		e.params = p
+	}
+	e.numSrc = n
+}
+
+// Result returns the latest estimate.
+func (e *Estimator) Result() (*factfind.Result, error) {
+	if e.last == nil {
+		return nil, ErrNoData
+	}
+	return e.last, nil
+}
+
+// Dataset returns the dataset underlying the latest estimate.
+func (e *Estimator) Dataset() (*claims.Dataset, error) {
+	if e.lastDS == nil {
+		return nil, ErrNoData
+	}
+	return e.lastDS, nil
+}
+
+// Stats describes the stream state.
+type Stats struct {
+	Sources    int
+	Assertions int
+	Claims     int
+	Fits       int
+}
+
+// Stats reports the accumulated stream size and fit count.
+func (e *Estimator) Stats() Stats {
+	return Stats{
+		Sources:    e.numSrc,
+		Assertions: e.numAssert,
+		Claims:     len(e.events),
+		Fits:       e.fits,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

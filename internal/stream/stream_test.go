@@ -1,0 +1,194 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+
+	"depsense/internal/claims"
+	"depsense/internal/core"
+	"depsense/internal/depgraph"
+	"depsense/internal/randutil"
+	"depsense/internal/stats"
+	"depsense/internal/synthetic"
+)
+
+func TestEmptyEstimator(t *testing.T) {
+	e := New(Options{})
+	if _, err := e.Result(); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+	if _, err := e.Dataset(); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+	if _, err := e.AddBatch(nil); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty first batch: want ErrNoData, got %v", err)
+	}
+}
+
+func TestBadEventsRejected(t *testing.T) {
+	e := New(Options{})
+	if _, err := e.AddBatch([]depgraph.Event{{Source: -1, Assertion: 0}}); !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("want ErrBadEvent, got %v", err)
+	}
+	if err := e.ObserveFollow(-1, 0); !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("want ErrBadEvent, got %v", err)
+	}
+}
+
+func TestIDSpacesGrow(t *testing.T) {
+	e := New(Options{EM: core.Options{Seed: 1}})
+	if err := e.ObserveFollow(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddBatch([]depgraph.Event{
+		{Source: 0, Assertion: 0, Time: 1},
+		{Source: 1, Assertion: 0, Time: 2}, // dependent repeat
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Sources != 2 || st.Assertions != 1 || st.Claims != 2 || st.Fits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A later batch introduces new sources and assertions.
+	if _, err := e.AddBatch([]depgraph.Event{
+		{Source: 5, Assertion: 3, Time: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.Sources != 6 || st.Assertions != 4 || st.Fits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ds, err := e.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Dependent(1, 0) {
+		t.Fatal("dependency lost across batches")
+	}
+}
+
+// TestStreamingMatchesBatchAccuracy: feeding a world in batches must reach
+// accuracy comparable to one cold batch fit on the same data.
+func TestStreamingMatchesBatchAccuracy(t *testing.T) {
+	cfg := synthetic.EstimatorConfig()
+	cfg.Sources = 30
+	cfg.Assertions = 120
+	w, err := synthetic.Generate(cfg, randutil.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize the world into timestamped events: roots first (time 0),
+	// then leaves (time 1), matching generation order.
+	var events []depgraph.Event
+	for j := 0; j < w.Dataset.M(); j++ {
+		for _, c := range w.Dataset.Claimants(j) {
+			tm := int64(0)
+			if c.Dependent {
+				tm = 1
+			}
+			events = append(events, depgraph.Event{Source: c.Source, Assertion: j, Time: tm})
+		}
+	}
+
+	est := New(Options{EM: core.Options{Seed: 2}})
+	for i := 0; i < w.Graph.N(); i++ {
+		for _, anc := range w.Graph.Ancestors(i) {
+			if err := est.ObserveFollow(i, anc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const batches = 5
+	per := (len(events) + batches - 1) / batches
+	var lastAcc float64
+	for b := 0; b < batches; b++ {
+		lo := b * per
+		hi := min(len(events), lo+per)
+		if lo >= hi {
+			break
+		}
+		r, err := est.AddBatch(events[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == batches-1 {
+			cl, err := stats.Classify(r.Decisions(0.5), w.Truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lastAcc = cl.Accuracy
+		}
+	}
+
+	cold, err := core.Run(mustDS(t, est), core.VariantExt, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clCold, err := stats.Classify(cold.Decisions(0.5), w.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastAcc < clCold.Accuracy-0.08 {
+		t.Fatalf("streaming accuracy %.3f far below cold fit %.3f", lastAcc, clCold.Accuracy)
+	}
+	if lastAcc < 0.6 {
+		t.Fatalf("streaming accuracy %.3f implausibly low", lastAcc)
+	}
+}
+
+// TestWarmStartConverges: the warm-started refit after a tiny incremental
+// batch should converge within the reduced iteration budget.
+func TestWarmStartConverges(t *testing.T) {
+	cfg := synthetic.DefaultConfig()
+	w, err := synthetic.Generate(cfg, randutil.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []depgraph.Event
+	for j := 0; j < w.Dataset.M(); j++ {
+		for _, c := range w.Dataset.Claimants(j) {
+			tm := int64(0)
+			if c.Dependent {
+				tm = 1
+			}
+			events = append(events, depgraph.Event{Source: c.Source, Assertion: j, Time: tm})
+		}
+	}
+	est := New(Options{EM: core.Options{Seed: 4}})
+	for i := 0; i < w.Graph.N(); i++ {
+		for _, anc := range w.Graph.Ancestors(i) {
+			_ = est.ObserveFollow(i, anc)
+		}
+	}
+	if _, err := est.AddBatch(events[:len(events)-3]); err != nil {
+		t.Fatal(err)
+	}
+	r, err := est.AddBatch(events[len(events)-3:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Fatal("warm-started refit did not converge within the incremental budget")
+	}
+	if r.Iterations > 60 {
+		t.Fatalf("warm start took %d iterations", r.Iterations)
+	}
+}
+
+func mustDS(t *testing.T, e *Estimator) *claims.Dataset {
+	t.Helper()
+	ds, err := e.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

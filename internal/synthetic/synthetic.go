@@ -1,0 +1,360 @@
+// Package synthetic implements the paper's simulation data generator
+// (Section V-A). Sources are arranged in a forest of τ level-two dependency
+// trees; assertions are split into a true pool and a false pool by the ratio
+// d; and each source is personalized by a participation probability p_on and
+// reliabilities p_indepT / p_depT.
+//
+// Claims are drawn directly from the paper's channel model of Section II,
+// with per-source channel parameters derived from the behavioral knobs.
+// The independent channel is
+//
+//	a_i = p_on·p_indepT        b_i = p_on·(1-p_indepT)
+//
+// so p_indepT/(1-p_indepT) is exactly the channel's true/false
+// discrimination odds — the paper's stated tuning knob — and p_on scales
+// original-reporting volume.
+//
+// The dependent channel preserves the paper's pool-picking semantics:
+// p_depT is the probability that a claim a leaf repeats is true, i.e. the
+// MARGINAL truth odds of dependent claims are p_depT/(1-p_depT) (the Fig. 10
+// knob). Because a root's claimed pool is itself truth-enriched (roots claim
+// true assertions a/b ≈ 2× more often), the implied PER-PAIR channel is
+//
+//	f_i = 2·p_dep·q          g_i = 2·p_dep·(1-q)
+//	q/(1-q) = [p_depT/(1-p_depT)] · [(1-dshare)/dshare]
+//
+// where dshare is the fraction of the root's claims that are true. At the
+// default p_depT ≈ 0.5 this makes a repeat per-pair evidence of falsehood
+// (rumors spread through dependent claims) even though dependent claims are
+// marginally 50/50 — precisely the structure a dependency-aware estimator
+// can exploit and an independence-assuming one double-counts. p_dep scales
+// repeat volume.
+//
+// Root sources emit through the independent channel on every assertion.
+// A leaf pair (i, j) is dependent exactly when i's root claimed j — the
+// structural definition of Section II-A — and the leaf then emits through
+// the (f, g) channel whether it repeats or stays silent; all other leaf
+// pairs go through the independent channel. Generation order (roots first)
+// guarantees every dependent claim repeats an earlier ancestor claim.
+package synthetic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"depsense/internal/claims"
+	"depsense/internal/depgraph"
+	"depsense/internal/model"
+	"depsense/internal/randutil"
+)
+
+// Range is a closed interval from which per-dataset or per-source values
+// are drawn uniformly. Lo == Hi pins the value.
+type Range struct {
+	Lo, Hi float64
+}
+
+// Draw samples the range.
+func (r Range) Draw(rng *rand.Rand) float64 { return randutil.Uniform(rng, r.Lo, r.Hi) }
+
+// Fixed returns a degenerate range pinning v.
+func Fixed(v float64) Range { return Range{Lo: v, Hi: v} }
+
+// IntRange is a closed integer interval.
+type IntRange struct {
+	Lo, Hi int
+}
+
+// Draw samples the range.
+func (r IntRange) Draw(rng *rand.Rand) int { return randutil.UniformInt(rng, r.Lo, r.Hi) }
+
+// FixedInt returns a degenerate integer range.
+func FixedInt(v int) IntRange { return IntRange{Lo: v, Hi: v} }
+
+// Config parameterizes the generator. DefaultConfig reproduces the paper's
+// default setting.
+type Config struct {
+	// Sources is n, the total number of sources.
+	Sources int
+	// Assertions is m, the total number of assertions.
+	Assertions int
+	// Trees is τ, the number of dependency trees; drawn once per dataset.
+	Trees IntRange
+	// Depth is the trees' maximum depth. The paper's structure is
+	// level-two (depth 2, the zero-value default); larger depths model
+	// repeat cascades (retweets of retweets), an extension beyond the
+	// paper's simulations. Each non-root source depends on its direct
+	// parent.
+	Depth IntRange
+	// TrueRatio is d, the fraction of assertions placed in the true pool;
+	// drawn once per dataset.
+	TrueRatio Range
+	// POn is each source's participation scale: the probability the source
+	// claims an assertion it would endorse.
+	POn Range
+	// PDep scales each leaf's repeat volume: the dependent channel claims
+	// a root-claimed assertion with probability 2·PDep·PDepT (true) or
+	// 2·PDep·(1-PDepT) (false).
+	PDep Range
+	// PIndepT sets the independent channel's discrimination:
+	// a_i/b_i = PIndepT/(1-PIndepT).
+	PIndepT Range
+	// PDepT sets the dependent channel's discrimination:
+	// f_i/g_i = PDepT/(1-PDepT).
+	PDepT Range
+}
+
+// DefaultConfig returns the paper's default parameters (Section V-A):
+// n=20, m=50, p_on ∈ [0.5,0.7], τ ∈ [8,10], p_dep ∈ [0.4,0.6],
+// d ∈ [0.55,0.75], p_indepT ∈ [7/12,3/4], p_depT ∈ [0.4,0.6].
+func DefaultConfig() Config {
+	return Config{
+		Sources:    20,
+		Assertions: 50,
+		Trees:      IntRange{Lo: 8, Hi: 10},
+		TrueRatio:  Range{Lo: 0.55, Hi: 0.75},
+		POn:        Range{Lo: 0.5, Hi: 0.7},
+		PDep:       Range{Lo: 0.4, Hi: 0.6},
+		PIndepT:    Range{Lo: 7.0 / 12.0, Hi: 3.0 / 4.0},
+		PDepT:      Range{Lo: 0.4, Hi: 0.6},
+	}
+}
+
+// EstimatorConfig is DefaultConfig with n=50, the default of the estimator
+// simulations (Section V-B).
+func EstimatorConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Sources = 50
+	return cfg
+}
+
+// OddsToProb converts an odds ratio p/(1-p) back to p, the inverse of the
+// tuning knob used by Figs. 5 and 10.
+func OddsToProb(odds float64) float64 { return odds / (1 + odds) }
+
+// Profile records the behavioral parameters drawn for one source.
+type Profile struct {
+	POn     float64
+	PDep    float64
+	PIndepT float64
+	PDepT   float64
+}
+
+// World is one generated dataset plus everything the evaluation needs: the
+// ground truth, the dependency structure, and the generating channel
+// parameters.
+type World struct {
+	Dataset *claims.Dataset
+	// Truth[j] is the ground-truth value of assertion j.
+	Truth []bool
+	// Graph is the dependency forest; IsRoot flags the independent
+	// sources and Parent records each source's parent (-1 for roots).
+	Graph  *depgraph.Graph
+	IsRoot []bool
+	Parent []int
+	// TrueParams is the channel parameter set θ the claims were drawn
+	// from, consumed by the error bound ("Optimal" knows θ exactly).
+	TrueParams *model.Params
+	// Profiles are the drawn behavioral parameters per source.
+	Profiles []Profile
+	// TrueRatio is the realized d; Trees the drawn τ.
+	TrueRatio float64
+	Trees     int
+}
+
+// ErrBadConfig reports an invalid generator configuration.
+var ErrBadConfig = errors.New("synthetic: invalid config")
+
+func (c Config) validate() error {
+	if c.Sources < 1 {
+		return fmt.Errorf("%w: Sources=%d", ErrBadConfig, c.Sources)
+	}
+	if c.Assertions < 2 {
+		return fmt.Errorf("%w: Assertions=%d (need ≥2 for both pools)", ErrBadConfig, c.Assertions)
+	}
+	if c.Trees.Lo < 1 {
+		return fmt.Errorf("%w: Trees.Lo=%d", ErrBadConfig, c.Trees.Lo)
+	}
+	if c.Depth.Lo != 0 && c.Depth.Lo < 2 {
+		return fmt.Errorf("%w: Depth.Lo=%d (must be ≥ 2, or 0 for the default)", ErrBadConfig, c.Depth.Lo)
+	}
+	for _, r := range [...]struct {
+		name string
+		r    Range
+	}{
+		{"TrueRatio", c.TrueRatio}, {"POn", c.POn}, {"PDep", c.PDep},
+		{"PIndepT", c.PIndepT}, {"PDepT", c.PDepT},
+	} {
+		if r.r.Lo < 0 || r.r.Hi > 1 || r.r.Hi < r.r.Lo {
+			return fmt.Errorf("%w: range %s = [%v,%v]", ErrBadConfig, r.name, r.r.Lo, r.r.Hi)
+		}
+	}
+	return nil
+}
+
+// IndependentChannel derives the independent-channel parameters (a_i, b_i)
+// implied by a behavioral profile. The dependent channel additionally
+// depends on the truth composition of the root's claims; see DependentChannel.
+func IndependentChannel(p Profile) (a, b float64) {
+	return model.ClampProb(p.POn * p.PIndepT), model.ClampProb(p.POn * (1 - p.PIndepT))
+}
+
+// poolCorrection is the exponent γ applied to the root-pool enrichment when
+// deriving the dependent channel. γ = 0 anchors p_depT per pair (f/g =
+// odds(p_depT)); γ = 1 anchors it per claim (marginal truth odds of repeats
+// = odds(p_depT)), which makes rumor cascades so heavy that aggregate
+// support anti-correlates with truth and every vote-anchored estimator
+// flips. The half-correction keeps repeats mildly rumor-marking per pair —
+// the middle ground the paper's model is built to exploit — while aggregate
+// support stays truth-correlated, as in the paper's real Twitter datasets
+// (where Voting remains a serviceable baseline, Fig. 11).
+const poolCorrection = 0.5
+
+// DependentChannel derives the per-pair dependent-channel parameters
+// (f_i, g_i) for a leaf whose root's claimed pool has truth share dshare:
+//
+//	f = 2·p_dep·q,  g = 2·p_dep·(1-q),
+//	q/(1-q) = [p_depT/(1-p_depT)] · [(1-dshare)/dshare]^γ
+//
+// so p_depT/(1-p_depT) remains the channel's discrimination knob (Fig. 10)
+// and p_dep scales repeat volume.
+func DependentChannel(p Profile, dshare float64) (f, g float64) {
+	// Guard degenerate pools so neither channel parameter collapses.
+	if dshare < 0.05 {
+		dshare = 0.05
+	}
+	if dshare > 0.95 {
+		dshare = 0.95
+	}
+	odds := p.PDepT / (1 - p.PDepT) * math.Pow((1-dshare)/dshare, poolCorrection)
+	q := odds / (1 + odds)
+	return model.ClampProb(2 * p.PDep * q), model.ClampProb(2 * p.PDep * (1 - q))
+}
+
+// Generate builds one synthetic world.
+func Generate(cfg Config, rng *rand.Rand) (*World, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n, m := cfg.Sources, cfg.Assertions
+	tau := cfg.Trees.Draw(rng)
+	if tau > n {
+		tau = n
+	}
+
+	// Assertion pools, shuffled so truth is uncorrelated with assertion id.
+	d := cfg.TrueRatio.Draw(rng)
+	mTrue := int(math.Round(d * float64(m)))
+	if mTrue < 1 {
+		mTrue = 1
+	}
+	if mTrue > m-1 {
+		mTrue = m - 1
+	}
+	truth := make([]bool, m)
+	for k, j := range randutil.Perm(rng, m) {
+		if k < mTrue {
+			truth[j] = true
+		}
+	}
+
+	depth := 2
+	if cfg.Depth.Lo >= 2 {
+		depth = cfg.Depth.Draw(rng)
+	}
+	graph, parent, err := depgraph.ForestWithDepth(n, tau, depth)
+	if err != nil {
+		return nil, err
+	}
+	isRoot := make([]bool, n)
+	for i, p := range parent {
+		isRoot[i] = p < 0
+	}
+
+	profiles := make([]Profile, n)
+	params := model.NewParams(n, float64(mTrue)/float64(m))
+	for i := range profiles {
+		profiles[i] = Profile{
+			POn:     cfg.POn.Draw(rng),
+			PDep:    cfg.PDep.Draw(rng),
+			PIndepT: cfg.PIndepT.Draw(rng),
+			PDepT:   cfg.PDepT.Draw(rng),
+		}
+		s := &params.Sources[i]
+		s.A, s.B = IndependentChannel(profiles[i])
+		// Dependent channels are resolved below: for leaves they depend on
+		// the realized truth share of the root's claims; for roots the
+		// channel never fires.
+		s.F, s.G = model.ProbEpsilon, model.ProbEpsilon
+	}
+
+	b := claims.NewBuilder(n, m)
+
+	// Sources are generated in id order, which ForestWithDepth guarantees
+	// is topological (parents precede children), so a pair (i, j) is
+	// dependent exactly when i's parent already claimed j. Roots claim
+	// through the independent channel on every assertion; other sources
+	// route parent-claimed pairs through the (f, g) channel — whether they
+	// repeat or stay silent — and everything else through (a, b).
+	claimedBy := make([]map[int]bool, n)
+	trueShare := make([]float64, n)
+	for i := 0; i < n; i++ {
+		claimedBy[i] = make(map[int]bool)
+		s := &params.Sources[i]
+		dependentOf := func(int) bool { return false }
+		if !isRoot[i] {
+			p := parent[i]
+			s.F, s.G = DependentChannel(profiles[i], trueShare[p])
+			dependentOf = func(j int) bool { return claimedBy[p][j] }
+		}
+		nTrue, nTotal := 0, 0
+		for j := 0; j < m; j++ {
+			dependent := dependentOf(j)
+			var prob float64
+			switch {
+			case dependent && truth[j]:
+				prob = s.F
+			case dependent:
+				prob = s.G
+			case truth[j]:
+				prob = s.A
+			default:
+				prob = s.B
+			}
+			switch {
+			case randutil.Bernoulli(rng, prob):
+				b.AddClaim(i, j, dependent)
+				claimedBy[i][j] = true
+				nTotal++
+				if truth[j] {
+					nTrue++
+				}
+			case dependent:
+				b.MarkSilentDependent(i, j)
+			}
+		}
+		if nTotal > 0 {
+			trueShare[i] = float64(nTrue) / float64(nTotal)
+		} else {
+			trueShare[i] = float64(mTrue) / float64(m)
+		}
+	}
+
+	ds, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &World{
+		Dataset:    ds,
+		Truth:      truth,
+		Graph:      graph,
+		IsRoot:     isRoot,
+		Parent:     parent,
+		TrueParams: params,
+		Profiles:   profiles,
+		TrueRatio:  float64(mTrue) / float64(m),
+		Trees:      tau,
+	}, nil
+}

@@ -1,0 +1,273 @@
+package synthetic
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"depsense/internal/randutil"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Sources != 20 || cfg.Assertions != 50 {
+		t.Fatalf("defaults n=%d m=%d", cfg.Sources, cfg.Assertions)
+	}
+	if cfg.Trees.Lo != 8 || cfg.Trees.Hi != 10 {
+		t.Fatalf("tree range %+v", cfg.Trees)
+	}
+	if cfg.PIndepT.Lo != 7.0/12.0 || cfg.PIndepT.Hi != 0.75 {
+		t.Fatalf("PIndepT %+v", cfg.PIndepT)
+	}
+	if EstimatorConfig().Sources != 50 {
+		t.Fatal("estimator config n != 50")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Sources = 0 },
+		func(c *Config) { c.Assertions = 1 },
+		func(c *Config) { c.Trees = IntRange{Lo: 0, Hi: 3} },
+		func(c *Config) { c.TrueRatio = Range{Lo: 0.8, Hi: 0.2} },
+		func(c *Config) { c.POn = Range{Lo: -0.1, Hi: 0.5} },
+		func(c *Config) { c.PDepT = Range{Lo: 0.5, Hi: 1.5} },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg, randutil.New(1)); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestOddsToProb(t *testing.T) {
+	if math.Abs(OddsToProb(1)-0.5) > 1e-12 {
+		t.Fatal("odds 1 != prob 0.5")
+	}
+	if math.Abs(OddsToProb(2)-2.0/3.0) > 1e-12 {
+		t.Fatal("odds 2 != prob 2/3")
+	}
+}
+
+func TestWorldStructuralInvariants(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		cfg := DefaultConfig()
+		rng := randutil.New(seed)
+		w, err := Generate(cfg, rng)
+		if err != nil {
+			return false
+		}
+		ds := w.Dataset
+		if ds.N() != cfg.Sources || ds.M() != cfg.Assertions {
+			return false
+		}
+		if len(w.Truth) != ds.M() || len(w.Profiles) != ds.N() {
+			return false
+		}
+		if w.Trees < cfg.Trees.Lo || w.Trees > cfg.Trees.Hi {
+			return false
+		}
+		// Roots never make dependent claims and never appear silent-dependent.
+		for i := 0; i < ds.N(); i++ {
+			if w.IsRoot[i] && (len(ds.ClaimsD1(i)) > 0 || len(ds.SilentD1(i)) > 0) {
+				return false
+			}
+		}
+		// Every leaf pair with a root claim is dependent (claimed or
+		// silent); no dependent pair exists without a root claim.
+		for i := 0; i < ds.N(); i++ {
+			if w.IsRoot[i] {
+				continue
+			}
+			root := w.Graph.Ancestors(i)[0]
+			for j := 0; j < ds.M(); j++ {
+				rootClaimed := ds.Claimed(root, j)
+				if rootClaimed != ds.Dependent(i, j) {
+					return false
+				}
+			}
+		}
+		// Truth pool size matches the drawn ratio.
+		nTrue := 0
+		for _, v := range w.Truth {
+			if v {
+				nTrue++
+			}
+		}
+		return math.Abs(float64(nTrue)/float64(ds.M())-w.TrueRatio) < 1e-9
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrueParamsValid(t *testing.T) {
+	w, err := Generate(DefaultConfig(), randutil.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TrueParams.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range w.Profiles {
+		s := w.TrueParams.Sources[i]
+		wantA, wantB := IndependentChannel(p)
+		if s.A != wantA || s.B != wantB {
+			t.Fatalf("source %d channel (a,b) = (%v,%v), want (%v,%v)", i, s.A, s.B, wantA, wantB)
+		}
+		// Discrimination knob honored for the independent channel.
+		if odds := s.A / s.B; math.Abs(odds-p.PIndepT/(1-p.PIndepT)) > 1e-9 {
+			t.Fatalf("source %d a/b odds = %v", i, odds)
+		}
+	}
+}
+
+func TestDependentChannelKnob(t *testing.T) {
+	p := Profile{POn: 0.6, PDep: 0.5, PIndepT: 2.0 / 3.0, PDepT: 0.5}
+	// Raising p_depT must raise f and lower g, at fixed pool share.
+	f1, g1 := DependentChannel(p, 0.7)
+	p.PDepT = 0.75
+	f2, g2 := DependentChannel(p, 0.7)
+	if f2 <= f1 || g2 >= g1 {
+		t.Fatalf("knob not monotone: f %v->%v, g %v->%v", f1, f2, g1, g2)
+	}
+	// Repeat volume scales with p_dep.
+	p.PDep = 0.25
+	f3, g3 := DependentChannel(p, 0.7)
+	if f3 >= f2 || g3 >= g2 {
+		t.Fatal("p_dep does not scale repeat volume")
+	}
+	// Degenerate pool shares stay clamped and finite.
+	for _, share := range []float64{0, 0.02, 0.98, 1} {
+		f, g := DependentChannel(p, share)
+		if f <= 0 || f >= 1 || g <= 0 || g >= 1 {
+			t.Fatalf("channel out of range at share %v: f=%v g=%v", share, f, g)
+		}
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	a, err := Generate(DefaultConfig(), randutil.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig(), randutil.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset.NumClaims() != b.Dataset.NumClaims() ||
+		a.Dataset.NumDependentClaims() != b.Dataset.NumDependentClaims() {
+		t.Fatal("same seed generated different datasets")
+	}
+	for j := range a.Truth {
+		if a.Truth[j] != b.Truth[j] {
+			t.Fatal("same seed generated different truth")
+		}
+	}
+}
+
+func TestDependentClaimShareIsSubstantial(t *testing.T) {
+	// The defaults should produce a dependent-claim share broadly in line
+	// with the paper's Twitter datasets (~40%); guard the regime so a
+	// refactor cannot silently de-fang the dependency structure.
+	var total, dependent int
+	for seed := int64(0); seed < 10; seed++ {
+		w, err := Generate(EstimatorConfig(), randutil.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += w.Dataset.NumClaims()
+		dependent += w.Dataset.NumDependentClaims()
+	}
+	share := float64(dependent) / float64(total)
+	if share < 0.2 || share > 0.6 {
+		t.Fatalf("dependent claim share = %v, want 0.2-0.6", share)
+	}
+}
+
+func TestRangeDraw(t *testing.T) {
+	rng := randutil.New(1)
+	r := Range{Lo: 0.3, Hi: 0.4}
+	for i := 0; i < 100; i++ {
+		v := r.Draw(rng)
+		if v < 0.3 || v >= 0.4 {
+			t.Fatalf("draw %v out of range", v)
+		}
+	}
+	if Fixed(0.7).Draw(rng) != 0.7 {
+		t.Fatal("Fixed not fixed")
+	}
+	ir := IntRange{Lo: 2, Hi: 4}
+	for i := 0; i < 100; i++ {
+		v := ir.Draw(rng)
+		if v < 2 || v > 4 {
+			t.Fatalf("int draw %d out of range", v)
+		}
+	}
+	if FixedInt(3).Draw(rng) != 3 {
+		t.Fatal("FixedInt not fixed")
+	}
+}
+
+func TestDeepForestWorldInvariants(t *testing.T) {
+	cfg := EstimatorConfig()
+	cfg.Trees = FixedInt(5)
+	cfg.Depth = IntRange{Lo: 4, Hi: 4}
+	w, err := Generate(cfg, randutil.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-level sources exist: some source is both a child and a parent.
+	isParent := make([]bool, cfg.Sources)
+	midLevel := false
+	for i, p := range w.Parent {
+		if p >= 0 {
+			isParent[p] = true
+		}
+		_ = i
+	}
+	for i, p := range w.Parent {
+		if p >= 0 && isParent[i] {
+			midLevel = true
+		}
+	}
+	if !midLevel {
+		t.Fatal("depth-4 forest has no mid-level sources")
+	}
+	// Dependency invariant at any depth: a pair is dependent exactly when
+	// the source's parent claimed the assertion.
+	ds := w.Dataset
+	for i, p := range w.Parent {
+		if p < 0 {
+			continue
+		}
+		for j := 0; j < ds.M(); j++ {
+			if ds.Claimed(p, j) != ds.Dependent(i, j) {
+				t.Fatalf("dependency mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDepthDefaultIsLevelTwo(t *testing.T) {
+	w, err := Generate(DefaultConfig(), randutil.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range w.Parent {
+		if p >= 0 && w.Parent[p] >= 0 {
+			t.Fatalf("source %d has a grandparent under the default depth", i)
+		}
+	}
+}
+
+func TestDepthValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Depth = IntRange{Lo: 1, Hi: 3}
+	if _, err := Generate(cfg, randutil.New(1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("depth 1 accepted")
+	}
+}

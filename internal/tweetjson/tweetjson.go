@@ -1,0 +1,213 @@
+// Package tweetjson ingests real tweet archives in the Twitter API v1.1
+// JSON format (the format of the paper's 2015 datasets) and converts them
+// into Apollo pipeline inputs: dense source ids, a follow graph implied by
+// retweet edges, and chronologically ordered messages.
+//
+// Both JSON Lines (one tweet object per line, the streaming API's output)
+// and a single JSON array are accepted. Only the handful of fields the
+// pipeline needs are decoded; unknown fields are ignored.
+package tweetjson
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"depsense/internal/apollo"
+	"depsense/internal/depgraph"
+)
+
+// Tweet is the subset of the Twitter API v1.1 tweet object the pipeline
+// consumes.
+type Tweet struct {
+	IDStr       string `json:"id_str"`
+	Text        string `json:"text"`
+	FullText    string `json:"full_text"` // extended-mode archives
+	CreatedAt   string `json:"created_at"`
+	TimestampMS string `json:"timestamp_ms"` // streaming API extra
+	User        User   `json:"user"`
+	// RetweetedStatus is set when this tweet is a retweet; its author
+	// becomes a followee of this tweet's author in the derived graph.
+	RetweetedStatus *Tweet `json:"retweeted_status"`
+}
+
+// User is the tweet author.
+type User struct {
+	IDStr      string `json:"id_str"`
+	ScreenName string `json:"screen_name"`
+}
+
+// createdAtLayout is Twitter's classic timestamp format.
+const createdAtLayout = "Mon Jan 02 15:04:05 -0700 2006"
+
+// Errors returned by the decoder.
+var (
+	ErrEmptyArchive = errors.New("tweetjson: archive contains no tweets")
+	ErrNoAuthor     = errors.New("tweetjson: tweet has no author id")
+)
+
+// Parse reads an archive: a JSON array of tweet objects, or JSON Lines.
+// Blank lines are skipped; a malformed line aborts with its line number.
+func Parse(r io.Reader) ([]Tweet, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(1)
+	if err != nil {
+		return nil, ErrEmptyArchive
+	}
+	if head[0] == '[' {
+		var tweets []Tweet
+		dec := json.NewDecoder(br)
+		if err := dec.Decode(&tweets); err != nil {
+			return nil, fmt.Errorf("tweetjson: decode array: %w", err)
+		}
+		if len(tweets) == 0 {
+			return nil, ErrEmptyArchive
+		}
+		return tweets, nil
+	}
+	var tweets []Tweet
+	scanner := bufio.NewScanner(br)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for scanner.Scan() {
+		line++
+		raw := bytes.TrimSpace(scanner.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var t Tweet
+		if err := json.Unmarshal(raw, &t); err != nil {
+			return nil, fmt.Errorf("tweetjson: line %d: %w", line, err)
+		}
+		tweets = append(tweets, t)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("tweetjson: read: %w", err)
+	}
+	if len(tweets) == 0 {
+		return nil, ErrEmptyArchive
+	}
+	return tweets, nil
+}
+
+// Time resolves the tweet's timestamp: timestamp_ms when present, else
+// created_at, else the snowflake id's embedded time, else zero.
+func (t *Tweet) Time() time.Time {
+	if t.TimestampMS != "" {
+		if ms, err := strconv.ParseInt(t.TimestampMS, 10, 64); err == nil {
+			return time.UnixMilli(ms).UTC()
+		}
+	}
+	if t.CreatedAt != "" {
+		if ts, err := time.Parse(createdAtLayout, t.CreatedAt); err == nil {
+			return ts.UTC()
+		}
+	}
+	if id, err := strconv.ParseInt(t.IDStr, 10, 64); err == nil && id > (1<<22) {
+		// Snowflake ids embed milliseconds since the Twitter epoch
+		// (2010-11-04T01:42:54.657Z) in their upper bits.
+		const twitterEpochMS = 1288834974657
+		return time.UnixMilli((id >> 22) + twitterEpochMS).UTC()
+	}
+	return time.Time{}
+}
+
+// Body returns the tweet text, preferring the extended full_text field.
+func (t *Tweet) Body() string {
+	if t.FullText != "" {
+		return t.FullText
+	}
+	return t.Text
+}
+
+// Mapping connects the pipeline's dense ids back to the archive.
+type Mapping struct {
+	// ScreenNames[i] is the display name of dense source id i (falls back
+	// to the user id when the archive has no screen name).
+	ScreenNames []string
+	// UserIDs[i] is the Twitter user id of dense source id i.
+	UserIDs []string
+	// TweetIDs[k] is the id_str of pipeline message k.
+	TweetIDs []string
+}
+
+// ToPipeline converts an archive into an Apollo input: sources are densely
+// renumbered, messages are sorted chronologically, and every retweet adds a
+// follow edge retweeter -> original author — the same construction the
+// paper uses to obtain its dependency network.
+func ToPipeline(tweets []Tweet) (apollo.Input, *Mapping, error) {
+	if len(tweets) == 0 {
+		return apollo.Input{}, nil, ErrEmptyArchive
+	}
+	order := make([]int, len(tweets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return tweets[order[a]].Time().Before(tweets[order[b]].Time())
+	})
+
+	mapping := &Mapping{}
+	denseID := make(map[string]int)
+	intern := func(u User) (int, error) {
+		if u.IDStr == "" {
+			return 0, ErrNoAuthor
+		}
+		if id, ok := denseID[u.IDStr]; ok {
+			return id, nil
+		}
+		id := len(mapping.UserIDs)
+		denseID[u.IDStr] = id
+		mapping.UserIDs = append(mapping.UserIDs, u.IDStr)
+		name := u.ScreenName
+		if name == "" {
+			name = u.IDStr
+		}
+		mapping.ScreenNames = append(mapping.ScreenNames, name)
+		return id, nil
+	}
+
+	type edge struct{ follower, followee int }
+	var edges []edge
+	messages := make([]apollo.Message, 0, len(tweets))
+	for _, idx := range order {
+		t := &tweets[idx]
+		src, err := intern(t.User)
+		if err != nil {
+			return apollo.Input{}, nil, fmt.Errorf("%w (tweet %q)", err, t.IDStr)
+		}
+		if rt := t.RetweetedStatus; rt != nil && rt.User.IDStr != "" {
+			orig, err := intern(rt.User)
+			if err != nil {
+				return apollo.Input{}, nil, err
+			}
+			if orig != src {
+				edges = append(edges, edge{follower: src, followee: orig})
+			}
+		}
+		messages = append(messages, apollo.Message{
+			Source: src,
+			Time:   t.Time().UnixMilli(),
+			Text:   t.Body(),
+		})
+		mapping.TweetIDs = append(mapping.TweetIDs, t.IDStr)
+	}
+
+	graph := depgraph.NewGraph(len(mapping.UserIDs))
+	for _, e := range edges {
+		if err := graph.AddFollow(e.follower, e.followee); err != nil {
+			return apollo.Input{}, nil, err
+		}
+	}
+	return apollo.Input{
+		NumSources: len(mapping.UserIDs),
+		Messages:   messages,
+		Graph:      graph,
+	}, mapping, nil
+}

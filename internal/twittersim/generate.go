@@ -1,0 +1,403 @@
+package twittersim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"depsense/internal/depgraph"
+	"depsense/internal/randutil"
+)
+
+// Kind classifies an assertion for the (simulated) human graders.
+type Kind int
+
+// Assertion kinds, matching the grading rule of Section V-C.
+const (
+	// KindTrue is a verifiable assertion that is true in the simulated
+	// world.
+	KindTrue Kind = iota + 1
+	// KindFalse is a verifiable assertion that is false (a rumor).
+	KindFalse
+	// KindOpinion is a subjective statement that does not constitute an
+	// act of sensing; graders mark it "Opinion".
+	KindOpinion
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTrue:
+		return "True"
+	case KindFalse:
+		return "False"
+	case KindOpinion:
+		return "Opinion"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Tweet is one message of the simulated stream.
+type Tweet struct {
+	// ID is the tweet's index in the stream; times are the IDs, so stream
+	// order is chronological.
+	ID int
+	// Source is the author.
+	Source int
+	// Text is the rendered tweet body.
+	Text string
+	// RetweetOf is the ID of the retweeted tweet, or -1 for originals.
+	RetweetOf int
+	// Assertion is the ground-truth assertion id — hidden input for the
+	// simulated graders, never shown to the fact-finding pipeline.
+	Assertion int
+}
+
+// World is one simulated dataset.
+type World struct {
+	Scenario Scenario
+	// Tweets is the chronological stream.
+	Tweets []Tweet
+	// Graph is the follow graph implied by retweet behaviour (an edge is
+	// added whenever a source retweets another), the same construction the
+	// paper uses to obtain its dependency network.
+	Graph *depgraph.Graph
+	// Kinds[j] classifies ground-truth assertion j.
+	Kinds []Kind
+	// AssertionTokens[j] is assertion j's canonical token sequence.
+	AssertionTokens [][]string
+	// SourceReliability[i] is the probability source i originates true
+	// facts.
+	SourceReliability []float64
+	// ActiveSources is the number of sources that authored ≥ 1 tweet.
+	ActiveSources int
+}
+
+// ErrBadScenario reports an invalid scenario.
+var ErrBadScenario = errors.New("twittersim: invalid scenario")
+
+func (s Scenario) validate() error {
+	if s.Sources < 1 || s.Assertions < 1 || s.Claims < s.Assertions || s.OriginalClaims > s.Claims {
+		return fmt.Errorf("%w: sources=%d assertions=%d claims=%d originals=%d",
+			ErrBadScenario, s.Sources, s.Assertions, s.Claims, s.OriginalClaims)
+	}
+	if s.OriginalClaims < s.Assertions {
+		return fmt.Errorf("%w: need at least one original per assertion (%d < %d)",
+			ErrBadScenario, s.OriginalClaims, s.Assertions)
+	}
+	sum := s.TrueShare + s.FalseShare + s.OpinionShare
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("%w: kind shares sum to %v", ErrBadScenario, sum)
+	}
+	if s.ReliabilityLow < 0 || s.ReliabilityHigh > 1 || s.ReliabilityHigh < s.ReliabilityLow {
+		return fmt.Errorf("%w: reliability range [%v,%v]", ErrBadScenario, s.ReliabilityLow, s.ReliabilityHigh)
+	}
+	for _, v := range [...]float64{s.RumorVirality, s.OpinionVirality, s.TrueReassert, s.FalseReassert} {
+		if v <= 0 {
+			return fmt.Errorf("%w: virality/re-assert weights must be positive", ErrBadScenario)
+		}
+	}
+	return nil
+}
+
+// Generate simulates one tweet stream.
+//
+// The stream interleaves three behaviours, tuned so that the realized
+// counts land on the scenario targets:
+//
+//   - new-assertion originals: a source reports something not yet asserted.
+//     Factual reports are true with the source's reliability; a fraction are
+//     opinions.
+//   - re-assertion originals: an independent report of an existing
+//     assertion, biased toward true assertions (real events have many
+//     independent witnesses, rumors few).
+//   - retweets: a source repeats an earlier tweet, biased toward viral
+//     rumors and opinions; the retweet adds a follow edge, which is how the
+//     dependency network is observed.
+func Generate(sc Scenario, rng *rand.Rand) (*World, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	vocab := newVocabulary(sc)
+
+	totalSources := sc.Sources + sc.Sybils
+	w := &World{
+		Scenario:          sc,
+		Graph:             depgraph.NewGraph(totalSources),
+		SourceReliability: make([]float64, totalSources),
+	}
+
+	// Source activity: a Zipf-weighted pool. A tweet reuses an active
+	// source with probability tuned so the number of distinct sources
+	// lands near the target.
+	reuse := 1 - float64(sc.Sources)/float64(sc.Claims)
+	if reuse < 0 {
+		reuse = 0
+	}
+	sourcePerm := randutil.Perm(rng, sc.Sources)
+
+	// Reliability correlates with activity: early-activated sources are
+	// the prolific accounts (news desks, on-the-ground reporters) and skew
+	// reliable, late one-off accounts skew noisy. This is the signal that
+	// lets reliability-estimating fact-finders beat raw popularity, as in
+	// the paper's real datasets.
+	for rank, src := range sourcePerm {
+		rankFrac := float64(rank) / float64(sc.Sources)
+		mix := 0.35*rng.Float64() + 0.65*(1-rankFrac)
+		w.SourceReliability[src] = sc.ReliabilityLow + (sc.ReliabilityHigh-sc.ReliabilityLow)*mix
+	}
+	zipf := randutil.NewZipfPicker(sc.Sources, sc.ActivitySkew)
+	nextFresh := 0
+	active := make([]int, 0, sc.Sources)
+	pickSource := func() int {
+		if nextFresh < sc.Sources && (len(active) == 0 || rng.Float64() >= reuse) {
+			s := sourcePerm[nextFresh]
+			nextFresh++
+			active = append(active, s)
+			return s
+		}
+		// Zipf over the activation order: early activations stay prolific.
+		idx := zipf.Pick(rng)
+		if idx >= len(active) {
+			idx = rng.Intn(len(active))
+		}
+		return active[idx]
+	}
+
+	retweetRate := 1 - float64(sc.OriginalClaims)/float64(sc.Claims)
+	newAssertionRate := float64(sc.Assertions) / float64(sc.OriginalClaims)
+
+	// Weighted pools of re-assertable and retweetable items. Weights are
+	// kind-dependent; both pools are sampled by rejection against the max
+	// weight, which stays O(1) because weights span a small fixed range.
+	type weighted struct {
+		ids []int
+		max float64
+	}
+	reassertW := func(k Kind) float64 {
+		switch k {
+		case KindTrue:
+			return sc.TrueReassert
+		case KindFalse:
+			return sc.FalseReassert
+		default:
+			return 1
+		}
+	}
+	retweetW := func(k Kind) float64 {
+		switch k {
+		case KindFalse:
+			return sc.RumorVirality
+		case KindOpinion:
+			return sc.OpinionVirality
+		default:
+			return 1
+		}
+	}
+	assertPool := weighted{max: maxOf(sc.TrueReassert, sc.FalseReassert, 1)}
+	tweetPool := weighted{max: maxOf(sc.RumorVirality, sc.OpinionVirality, 1)}
+	pickWeighted := func(p *weighted, weightOf func(int) float64) int {
+		if len(p.ids) == 0 {
+			return -1
+		}
+		for {
+			id := p.ids[rng.Intn(len(p.ids))]
+			if rng.Float64()*p.max <= weightOf(id) {
+				return id
+			}
+		}
+	}
+
+	drawKind := func(src int) Kind {
+		if rng.Float64() < sc.OpinionRate {
+			return KindOpinion
+		}
+		if rng.Float64() < w.SourceReliability[src] {
+			return KindTrue
+		}
+		return KindFalse
+	}
+
+	for len(w.Tweets) < sc.Claims {
+		id := len(w.Tweets)
+		src := pickSource()
+
+		if rng.Float64() < retweetRate && len(tweetPool.ids) > 0 {
+			// Retweet: pick a viral-weighted earlier tweet by a different
+			// author; the repeat manifests the follow edge.
+			target := pickWeighted(&tweetPool, func(tid int) float64 {
+				return retweetW(w.Kinds[w.Tweets[tid].Assertion])
+			})
+			orig := w.Tweets[target]
+			if orig.Source == src {
+				continue // self-retweet: redraw everything
+			}
+			if err := w.Graph.AddFollow(src, orig.Source); err != nil {
+				return nil, err
+			}
+			w.Tweets = append(w.Tweets, Tweet{
+				ID:        id,
+				Source:    src,
+				Text:      retweetText(orig.Source, orig.Text),
+				RetweetOf: target,
+				Assertion: orig.Assertion,
+			})
+			tweetPool.ids = append(tweetPool.ids, id)
+			continue
+		}
+
+		// Original tweet.
+		var assertion int
+		if len(w.Kinds) < sc.Assertions && (len(assertPool.ids) == 0 || rng.Float64() < newAssertionRate) {
+			kind := drawKind(src)
+			assertion = len(w.Kinds)
+			w.Kinds = append(w.Kinds, kind)
+			w.AssertionTokens = append(w.AssertionTokens, vocab.assertionText(rng, kind))
+			assertPool.ids = append(assertPool.ids, assertion)
+		} else {
+			assertion = pickWeighted(&assertPool, func(aid int) float64 {
+				return reassertW(w.Kinds[aid])
+			})
+			if assertion < 0 {
+				continue
+			}
+		}
+		w.Tweets = append(w.Tweets, Tweet{
+			ID:        id,
+			Source:    src,
+			Text:      vocab.tweetText(rng, w.AssertionTokens[assertion]),
+			RetweetOf: -1,
+			Assertion: assertion,
+		})
+		tweetPool.ids = append(tweetPool.ids, id)
+	}
+
+	if err := w.injectSybils(rng); err != nil {
+		return nil, err
+	}
+	w.ActiveSources = len(active)
+	return w, nil
+}
+
+// injectSybils appends the coordinated bot accounts' retweets: each sybil
+// (source ids Sources..Sources+Sybils-1) retweets the earliest tweet of
+// every targeted rumor, manifesting a dense dependency cascade on exactly
+// the assertions the attack boosts.
+func (w *World) injectSybils(rng *rand.Rand) error {
+	sc := w.Scenario
+	if sc.Sybils <= 0 {
+		return nil
+	}
+	targets := sc.SybilTargets
+	if targets <= 0 {
+		targets = 10
+	}
+	// Earliest tweet per rumor assertion.
+	firstTweet := make(map[int]int)
+	for id, t := range w.Tweets {
+		if w.Kinds[t.Assertion] != KindFalse {
+			continue
+		}
+		if _, seen := firstTweet[t.Assertion]; !seen {
+			firstTweet[t.Assertion] = id
+		}
+	}
+	rumorIDs := make([]int, 0, len(firstTweet))
+	for a := range firstTweet {
+		rumorIDs = append(rumorIDs, a)
+	}
+	sort.Ints(rumorIDs)
+	randutil.Shuffle(rng, rumorIDs)
+	if targets > len(rumorIDs) {
+		targets = len(rumorIDs)
+	}
+	boosted := rumorIDs[:targets]
+
+	for s := 0; s < sc.Sybils; s++ {
+		sybil := sc.Sources + s
+		w.SourceReliability[sybil] = 0 // bots never originate truth
+		for _, assertion := range boosted {
+			orig := w.Tweets[firstTweet[assertion]]
+			if err := w.Graph.AddFollow(sybil, orig.Source); err != nil {
+				return err
+			}
+			id := len(w.Tweets)
+			w.Tweets = append(w.Tweets, Tweet{
+				ID:        id,
+				Source:    sybil,
+				Text:      retweetText(orig.Source, orig.Text),
+				RetweetOf: orig.ID,
+				Assertion: assertion,
+			})
+		}
+	}
+	return nil
+}
+
+func maxOf(vs ...float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Events converts the stream into the timestamped claim log consumed by
+// depgraph.BuildDataset, using ground-truth assertion ids. The Apollo
+// pipeline does NOT use this — it reconstructs assertions by clustering
+// tweet text — but the oracle dataset is useful for ablations that isolate
+// clustering error.
+func (w *World) Events() []depgraph.Event {
+	events := make([]depgraph.Event, len(w.Tweets))
+	for i, t := range w.Tweets {
+		events[i] = depgraph.Event{Source: t.Source, Assertion: t.Assertion, Time: int64(t.ID)}
+	}
+	return events
+}
+
+// Summary describes the realized scale of a world.
+type Summary struct {
+	Name           string
+	Sources        int
+	Assertions     int
+	TotalClaims    int
+	OriginalClaims int
+	Retweets       int
+	FollowEdges    int
+	TrueAssertions int
+	Rumors         int
+	Opinions       int
+}
+
+// Summarize computes the realized counts, the numbers our Table III
+// reproduction reports next to the paper's.
+func (w *World) Summarize() Summary {
+	s := Summary{
+		Name:        w.Scenario.Name,
+		Sources:     w.ActiveSources,
+		Assertions:  len(w.Kinds),
+		TotalClaims: len(w.Tweets),
+		FollowEdges: w.Graph.NumEdges(),
+	}
+	for _, t := range w.Tweets {
+		if t.RetweetOf >= 0 {
+			s.Retweets++
+		}
+	}
+	s.OriginalClaims = s.TotalClaims - s.Retweets
+	for _, k := range w.Kinds {
+		switch k {
+		case KindTrue:
+			s.TrueAssertions++
+		case KindFalse:
+			s.Rumors++
+		case KindOpinion:
+			s.Opinions++
+		}
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package twittersim
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// vocabulary holds the scenario-specific word pools that assertion texts
+// are composed from. Entities and places are synthesized with numeric
+// suffixes so that large scenarios get enough combinatorial room for tens
+// of thousands of distinguishable assertions.
+type vocabulary struct {
+	entities []string
+	places   []string
+	verbs    []string
+	objects  []string
+	opinionT []string // opinion templates
+	fillers  []string
+	hashtag  string
+}
+
+func newVocabulary(sc Scenario) *vocabulary {
+	v := &vocabulary{
+		verbs: []string{
+			"reported", "confirmed", "denied", "spotted", "announced",
+			"evacuated", "closed", "attacked", "blocked", "rescued",
+			"arrested", "injured", "witnessed", "canceled", "warned",
+		},
+		objects: []string{
+			"explosion", "gunfire", "crowd", "fire", "outage", "protest",
+			"roadblock", "casualties", "sirens", "smoke", "panic",
+			"shortage", "flooding", "lockdown", "stampede",
+		},
+		opinionT: []string{
+			"thoughts prayers", "heartbroken about", "so proud of",
+			"disgusted by", "cant believe", "stay safe", "praying for",
+			"shame about", "furious about", "grateful for",
+		},
+		fillers: []string{
+			"breaking", "just", "now", "omg", "update", "live", "watch",
+			"developing", "alert", "unconfirmed", "via", "more", "soon",
+		},
+		hashtag: "#" + strings.ToLower(strings.Split(sc.Name, " ")[0]),
+	}
+	stems := []string{"witness", "official", "officer", "reporter", "resident", "medic", "driver", "student"}
+	for i := 0; i < sc.Entities; i++ {
+		v.entities = append(v.entities, stems[i%len(stems)]+strconv.Itoa(i))
+	}
+	placeStems := []string{"avenue", "square", "district", "station", "bridge", "market", "campus", "plaza"}
+	for i := 0; i < sc.Places; i++ {
+		v.places = append(v.places, placeStems[i%len(placeStems)]+strconv.Itoa(i))
+	}
+	return v
+}
+
+// assertionText composes the canonical content tokens of one assertion.
+// Factual assertions are (entity, verb, object, place, numeral, hashtag)
+// tuples; opinions are (template…, entity, entity, place, hashtag). Each
+// carries enough distinguishing tokens that distinct assertions rarely
+// exceed the clustering similarity threshold, while repeats of the same
+// assertion (sharing the canonical tokens) clear it comfortably.
+func (v *vocabulary) assertionText(rng *rand.Rand, kind Kind) []string {
+	place := v.places[rng.Intn(len(v.places))]
+	if kind == KindOpinion {
+		tmpl := v.opinionT[rng.Intn(len(v.opinionT))]
+		toks := strings.Fields(tmpl)
+		toks = append(toks,
+			v.entities[rng.Intn(len(v.entities))],
+			v.entities[rng.Intn(len(v.entities))],
+			place, v.hashtag)
+		return toks
+	}
+	return []string{
+		v.entities[rng.Intn(len(v.entities))],
+		v.verbs[rng.Intn(len(v.verbs))],
+		v.objects[rng.Intn(len(v.objects))],
+		place,
+		"n" + strconv.Itoa(rng.Intn(500)),
+		v.hashtag,
+	}
+}
+
+// tweetText renders one tweet of an assertion: the canonical tokens with
+// light noise (an optional dropped token, filler words, an occasional fake
+// link), as real tweets of the same claim vary in phrasing.
+func (v *vocabulary) tweetText(rng *rand.Rand, canonical []string) string {
+	toks := make([]string, 0, len(canonical)+3)
+	drop := -1
+	// Never drop the first (entity) or last (hashtag) token: they anchor
+	// cluster recall.
+	if len(canonical) > 4 && rng.Float64() < 0.25 {
+		drop = 1 + rng.Intn(len(canonical)-2)
+	}
+	if rng.Float64() < 0.5 {
+		toks = append(toks, v.fillers[rng.Intn(len(v.fillers))])
+	}
+	for i, tok := range canonical {
+		if i == drop {
+			continue
+		}
+		toks = append(toks, tok)
+	}
+	if rng.Float64() < 0.3 {
+		toks = append(toks, v.fillers[rng.Intn(len(v.fillers))])
+	}
+	if rng.Float64() < 0.2 {
+		toks = append(toks, "http://t.co/"+strconv.FormatInt(rng.Int63n(1<<30), 36))
+	}
+	return strings.Join(toks, " ")
+}
+
+// retweetText renders a retweet in the classic quoted form.
+func retweetText(author int, original string) string {
+	return "rt @user" + strconv.Itoa(author) + ": " + original
+}
