@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"depsense/internal/apollo"
 	"depsense/internal/baselines"
@@ -23,12 +26,15 @@ import (
 	"depsense/internal/factfind"
 	"depsense/internal/grader"
 	reportpkg "depsense/internal/report"
+	"depsense/internal/runctx"
 	"depsense/internal/tweetjson"
 	"depsense/internal/twittersim"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "apollo:", err)
 		os.Exit(1)
 	}
@@ -41,7 +47,7 @@ type tweetFile struct {
 	Kinds   []twittersim.Kind  `json:"kinds,omitempty"`
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("apollo", flag.ContinueOnError)
 	var (
 		input  = fs.String("in", "", "input file (required)")
@@ -104,8 +110,14 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown -format %q", *format)
 	}
 
-	pipe, err := apollo.Run(in, finder, apollo.Options{TopK: *topK})
+	pipe, err := apollo.RunContext(ctx, in, finder, apollo.Options{TopK: *topK})
 	if err != nil {
+		if reason := runctx.Reason(err); reason != "" && pipe != nil && pipe.Result != nil {
+			// Interrupted mid-estimation: report how far the run got
+			// before exiting cleanly.
+			fmt.Fprintf(out, "interrupted (%s): %s completed %d iterations over %s — partial ranking discarded\n",
+				reason, finder.Name(), pipe.Result.Iterations, pipe.Dataset.Summarize())
+		}
 		return err
 	}
 	if *report != "" {

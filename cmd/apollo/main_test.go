@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -41,7 +42,7 @@ func writeTweetFile(t *testing.T, withKinds bool) string {
 func TestPipelineWithGrading(t *testing.T) {
 	path := writeTweetFile(t, true)
 	var sb strings.Builder
-	if err := run([]string{"-in", path, "-alg", "EM-Ext", "-topk", "5"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-alg", "EM-Ext", "-topk", "5"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -59,7 +60,7 @@ func TestPipelineWithGrading(t *testing.T) {
 func TestPipelineWithoutKinds(t *testing.T) {
 	path := writeTweetFile(t, false)
 	var sb strings.Builder
-	if err := run([]string{"-in", path, "-alg", "Voting", "-topk", "3"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-alg", "Voting", "-topk", "3"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(sb.String(), "graded") {
@@ -69,21 +70,21 @@ func TestPipelineWithoutKinds(t *testing.T) {
 
 func TestValidation(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{}, &sb); err == nil {
+	if err := run(context.Background(), []string{}, &sb); err == nil {
 		t.Fatal("missing -in accepted")
 	}
-	if err := run([]string{"-in", "/does/not/exist.json"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-in", "/does/not/exist.json"}, &sb); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	path := writeTweetFile(t, true)
-	if err := run([]string{"-in", path, "-alg", "Oracle"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-in", path, "-alg", "Oracle"}, &sb); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 	garbage := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(garbage, []byte("{nope"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-in", garbage}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-in", garbage}, &sb); err == nil {
 		t.Fatal("garbage JSON accepted")
 	}
 }
@@ -96,7 +97,7 @@ func TestTwitterJSONFormat(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := run([]string{"-in", path, "-format", "twitter-json", "-alg", "Voting", "-topk", "2"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-format", "twitter-json", "-alg", "Voting", "-topk", "2"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "dependent=1") {
@@ -106,7 +107,7 @@ func TestTwitterJSONFormat(t *testing.T) {
 
 func TestUnknownFormatRejected(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-in", "x", "-format", "csv"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-in", "x", "-format", "csv"}, &sb); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }

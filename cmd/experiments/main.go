@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"depsense/internal/eval"
@@ -23,13 +26,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		exp     = fs.String("exp", "all", "experiment id: all, table1, fig3..fig11, table3, extdepth, extsybil")
@@ -49,6 +54,7 @@ func run(args []string, out io.Writer) error {
 	if *quick {
 		cfg = eval.QuickConfig()
 	}
+	cfg.Ctx = ctx // SIGINT/SIGTERM stop the sweeps between repetitions
 	cfg.Seed = *seed
 	if *runs > 0 {
 		cfg.BoundRuns = *runs

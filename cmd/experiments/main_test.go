@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunTableI(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "table1"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table1"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "0.26980433") {
@@ -19,7 +20,7 @@ func TestRunTableI(t *testing.T) {
 
 func TestRunQuickFig4(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-quick", "-exp", "fig4", "-runs", "1"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-exp", "fig4", "-runs", "1"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -30,7 +31,7 @@ func TestRunQuickFig4(t *testing.T) {
 
 func TestRunQuickFig9(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-quick", "-exp", "fig9", "-estruns", "2"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-exp", "fig9", "-estruns", "2"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "EM-Ext") {
@@ -40,7 +41,7 @@ func TestRunQuickFig9(t *testing.T) {
 
 func TestRunSelectsMultiple(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-quick", "-exp", "table1,fig6", "-runs", "1"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-exp", "table1,fig6", "-runs", "1"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -54,7 +55,7 @@ func TestRunSelectsMultiple(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-bogus"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, &sb); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }
@@ -62,7 +63,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestCSVOutput(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder
-	if err := run([]string{"-quick", "-exp", "fig6,fig9", "-runs", "1", "-estruns", "2", "-csv", dir}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-exp", "fig6,fig9", "-runs", "1", "-estruns", "2", "-csv", dir}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig6.csv", "fig9.csv"} {

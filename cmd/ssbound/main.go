@@ -9,28 +9,34 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"depsense/internal/bound"
 	"depsense/internal/claims"
 	"depsense/internal/model"
 	"depsense/internal/randutil"
+	"depsense/internal/runctx"
 	"depsense/internal/synthetic"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ssbound:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ssbound", flag.ContinueOnError)
 	var (
 		dataPath   = fs.String("data", "", "claims dataset JSON (from ssgen -kind synthetic)")
@@ -88,11 +94,16 @@ func run(args []string, out io.Writer) error {
 
 	compute := func(m bound.Method, name string) error {
 		start := time.Now()
-		res, err := bound.ForDataset(ds, params, bound.DatasetOptions{
+		res, err := bound.ForDatasetContext(ctx, ds, params, bound.DatasetOptions{
 			Method:     m,
 			MaxColumns: *maxCols,
 			Approx:     bound.ApproxOptions{MaxSweeps: *sweeps},
 		}, randutil.New(*seed))
+		if reason := runctx.Reason(err); reason != "" {
+			fmt.Fprintf(out, "%-7s %s after %s — partial column results discarded\n",
+				name, reason, time.Since(start).Round(time.Millisecond))
+			return fmt.Errorf("%s: %w", name, err)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

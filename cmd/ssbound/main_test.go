@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -14,7 +15,7 @@ import (
 
 func TestDemoBothMethods(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-demo", "-n", "10", "-method", "both", "-sweeps", "2000"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-demo", "-n", "10", "-method", "both", "-sweeps", "2000"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -55,7 +56,7 @@ func TestDataAndParamsFiles(t *testing.T) {
 	}
 
 	var sb strings.Builder
-	if err := run([]string{"-data", dataPath, "-params", paramsPath, "-method", "exact"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-data", dataPath, "-params", paramsPath, "-method", "exact"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "exact") {
@@ -65,10 +66,10 @@ func TestDataAndParamsFiles(t *testing.T) {
 
 func TestValidation(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{}, &sb); err == nil {
+	if err := run(context.Background(), []string{}, &sb); err == nil {
 		t.Fatal("missing inputs accepted")
 	}
-	if err := run([]string{"-demo", "-method", "nope"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-demo", "-method", "nope"}, &sb); err == nil {
 		t.Fatal("unknown method accepted")
 	}
 	// Invalid params file.
@@ -89,7 +90,7 @@ func TestValidation(t *testing.T) {
 	bad.Sources[0].A = 7
 	raw, _ := json.Marshal(bad)
 	_ = os.WriteFile(paramsPath, raw, 0o644)
-	if err := run([]string{"-data", dataPath, "-params", paramsPath}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-data", dataPath, "-params", paramsPath}, &sb); err == nil {
 		t.Fatal("invalid params accepted")
 	}
 }

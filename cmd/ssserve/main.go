@@ -33,19 +33,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ssserve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		topK    = fs.Int("topk", 100, "default ranked output size")
-		maxBody = fs.Int64("maxbody", 32<<20, "maximum request body bytes")
-		seed    = fs.Int64("seed", 1, "estimator seed")
+		addr       = fs.String("addr", ":8080", "listen address")
+		topK       = fs.Int("topk", 100, "default ranked output size")
+		maxBody    = fs.Int64("maxbody", 32<<20, "maximum request body bytes")
+		seed       = fs.Int64("seed", 1, "estimator seed")
+		computeTmo = fs.Duration("compute-timeout", 0, "per-request compute budget (0 = unlimited); exceeding it returns 503 with partial progress")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	handler := httpapi.New(httpapi.Options{
-		MaxBodyBytes: *maxBody,
-		DefaultTopK:  *topK,
-		Seed:         *seed,
+		MaxBodyBytes:   *maxBody,
+		DefaultTopK:    *topK,
+		Seed:           *seed,
+		ComputeTimeout: *computeTmo,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

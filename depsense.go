@@ -23,11 +23,17 @@
 //	res, err := depsense.NewEMExt(depsense.EMOptions{Seed: 1}).Run(ds)
 //	ranked := res.Ranking()
 //
+// Every fact-finder also implements RunContext(ctx, ds) for cancellable,
+// observable runs: deadlines and cancellation stop a run within one
+// iteration (Result.Stopped records why it stopped), and a per-iteration
+// IterationHook attached via WithIterationHook reports live progress.
+//
 // The cmd/ tools and examples/ directories demonstrate every entry point;
 // DESIGN.md and EXPERIMENTS.md document the paper reproduction.
 package depsense
 
 import (
+	"context"
 	"math/rand"
 
 	"depsense/internal/apollo"
@@ -39,6 +45,7 @@ import (
 	"depsense/internal/depgraph"
 	"depsense/internal/factfind"
 	"depsense/internal/model"
+	"depsense/internal/runctx"
 	"depsense/internal/stream"
 	"depsense/internal/synthetic"
 	"depsense/internal/twittersim"
@@ -120,6 +127,44 @@ func NewEMExt(opts EMOptions) *EMExt { return &core.EMExt{Opts: opts} }
 // EM-Social, EM, Voting, Sums, Average.Log, and TruthFinder.
 func Baselines(seed int64) []FactFinder { return baselines.All(seed) }
 
+// ---- Run lifecycle ----------------------------------------------------------
+
+type (
+	// Iteration is one progress observation of a running estimator: the
+	// iteration (or sweep/block) number, the log-likelihood or sample
+	// count where the algorithm tracks one, elapsed wall time, and — on
+	// the final observation — the stop reason.
+	Iteration = runctx.Iteration
+	// IterationHook receives Iteration observations. Attach one to a
+	// context with WithIterationHook and pass the context to any
+	// fact-finder's RunContext (or to ErrorBoundContext /
+	// RunPipelineContext).
+	IterationHook = runctx.Hook
+)
+
+// Stop reasons reported in Result.Stopped and Iteration.Stopped.
+const (
+	// StopConverged: the algorithm met its convergence criterion.
+	StopConverged = runctx.StopConverged
+	// StopIterationCap: the iteration budget ran out first.
+	StopIterationCap = runctx.StopIterationCap
+	// StopCancelled: the run context was cancelled mid-run.
+	StopCancelled = runctx.StopCancelled
+	// StopDeadline: the run context's deadline expired mid-run.
+	StopDeadline = runctx.StopDeadline
+)
+
+// WithIterationHook returns a context carrying h; estimators fire it once
+// per iteration/sweep/checkpoint. Hooks compose: if ctx already carries one,
+// both fire, earliest-attached first.
+func WithIterationHook(ctx context.Context, h IterationHook) context.Context {
+	return runctx.WithHook(ctx, h)
+}
+
+// StopReason maps an error returned by a RunContext-style call to
+// StopCancelled, StopDeadline, or "" (not a context error).
+func StopReason(err error) string { return runctx.Reason(err) }
+
 // Posterior scores every assertion under known (or externally estimated)
 // parameters — the E-step of Eq. (9) without any fitting. It returns the
 // posteriors and the data log-likelihood.
@@ -185,6 +230,13 @@ func ErrorBound(ds *Dataset, p *Params, opts BoundOptions, rng *rand.Rand) (Boun
 	return bound.ForDataset(ds, p, opts, rng)
 }
 
+// ErrorBoundContext is ErrorBound under a cancellable run-context: exact
+// enumeration checks the context every block of patterns and the Gibbs
+// approximation checks it every sweep.
+func ErrorBoundContext(ctx context.Context, ds *Dataset, p *Params, opts BoundOptions, rng *rand.Rand) (BoundResult, error) {
+	return bound.ForDatasetContext(ctx, ds, p, opts, rng)
+}
+
 // ---- Pipeline ----------------------------------------------------------------
 
 type (
@@ -211,6 +263,13 @@ type (
 // indicators, run the fact-finder, and rank.
 func RunPipeline(in PipelineInput, finder FactFinder, opts PipelineOptions) (*PipelineOutput, error) {
 	return apollo.Run(in, finder, opts)
+}
+
+// RunPipelineContext is RunPipeline under a cancellable run-context; on
+// cancellation mid-estimation the partial output is returned alongside the
+// context's error.
+func RunPipelineContext(ctx context.Context, in PipelineInput, finder FactFinder, opts PipelineOptions) (*PipelineOutput, error) {
+	return apollo.RunContext(ctx, in, finder, opts)
 }
 
 // ---- Generators ---------------------------------------------------------------

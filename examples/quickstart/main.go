@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"depsense/internal/claims"
 	"depsense/internal/core"
+	"depsense/internal/runctx"
 	"depsense/internal/stats"
 )
 
@@ -82,8 +85,17 @@ func run() error {
 	}
 	fmt.Println("dataset:", ds.Summarize())
 
+	// An IterationHook on the run context observes the fit live: one call
+	// per EM iteration with the current log-likelihood. The same context
+	// would also carry a deadline or cancellation in a service setting.
+	fmt.Println("\nEM-Ext progress:")
+	ctx := runctx.WithHook(context.Background(), func(it runctx.Iteration) {
+		if it.N%5 == 0 || it.Done {
+			fmt.Printf("  iter %2d  log-likelihood=%.2f  (%s)\n", it.N, it.LogLikelihood, it.Elapsed.Round(10*time.Microsecond))
+		}
+	})
 	est := &core.EMExt{Opts: core.Options{Seed: 42}}
-	res, err := est.Run(ds)
+	res, err := est.RunContext(ctx, ds)
 	if err != nil {
 		return err
 	}

@@ -4,27 +4,40 @@
 // the estimator refits from a warm start and we watch the top assertions
 // and the rumor posteriors evolve as evidence accumulates.
 //
+// The replay runs under a cancellable run-context (Ctrl-C, or the demo's
+// own mid-stream cancellation of the final batch): a cancelled refit
+// returns within one EM iteration, the estimator keeps the last completed
+// fit, and the ranking below is served from that state — graceful
+// degradation rather than a torn estimate.
+//
 //	go run ./examples/streaming
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"depsense/internal/core"
 	"depsense/internal/grader"
 	"depsense/internal/randutil"
+	"depsense/internal/runctx"
 	"depsense/internal/stream"
 	"depsense/internal/twittersim"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	sc := twittersim.Small("Ukraine", 10)
 	world, err := twittersim.Generate(sc, randutil.New(99))
 	if err != nil {
@@ -54,7 +67,30 @@ func run() error {
 		if lo >= hi {
 			break
 		}
-		res, err := est.AddBatch(events[lo:hi])
+		batchCtx := ctx
+		if b == batches-1 {
+			// Demonstrate graceful mid-stream cancellation: cancel the
+			// final batch's refit from its own iteration hook, as if the
+			// operator hit Ctrl-C while hour 6 was fitting.
+			var cancel context.CancelFunc
+			batchCtx, cancel = context.WithCancel(ctx)
+			defer cancel()
+			batchCtx = runctx.WithHook(batchCtx, func(it runctx.Iteration) {
+				if it.N >= 2 {
+					cancel()
+				}
+			})
+		}
+		res, err := est.AddBatchContext(batchCtx, events[lo:hi])
+		if reason := runctx.Reason(err); reason != "" {
+			partial := 0
+			if res != nil {
+				partial = res.Iterations
+			}
+			fmt.Printf("hour %d: refit %s after %d iterations — serving the hour-%d estimate instead\n",
+				b+1, reason, partial, b)
+			continue
+		}
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@
 package apollo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -13,6 +14,7 @@ import (
 	"depsense/internal/cluster"
 	"depsense/internal/depgraph"
 	"depsense/internal/factfind"
+	"depsense/internal/runctx"
 )
 
 // Message is one raw input item (a tweet).
@@ -72,6 +74,16 @@ var (
 
 // Run executes the pipeline with the given fact-finder.
 func Run(in Input, finder factfind.FactFinder, opts Options) (*Output, error) {
+	return RunContext(context.Background(), in, finder, opts)
+}
+
+// RunContext executes the pipeline with the given fact-finder under ctx.
+// The context is checked between stages and threaded into the fact-finder;
+// if the finder is cancelled mid-run, the partially built Output (dataset,
+// cluster assignment, and the finder's partial result, when it produced
+// one) is returned alongside the context's error so callers can report how
+// far the run got.
+func RunContext(ctx context.Context, in Input, finder factfind.FactFinder, opts Options) (*Output, error) {
 	if len(in.Messages) == 0 {
 		return nil, ErrNoMessages
 	}
@@ -95,6 +107,9 @@ func Run(in Input, finder factfind.FactFinder, opts Options) (*Output, error) {
 	}
 
 	// Stage 1: assertion extraction.
+	if err := runctx.Err(ctx); err != nil {
+		return nil, err
+	}
 	docs := make([][]string, len(in.Messages))
 	for i, msg := range in.Messages {
 		docs[i] = cluster.Tokenize(msg.Text)
@@ -103,6 +118,9 @@ func Run(in Input, finder factfind.FactFinder, opts Options) (*Output, error) {
 
 	// Stage 2: source-claim matrix + dependency indicators from timing and
 	// the follow graph.
+	if err := runctx.Err(ctx); err != nil {
+		return nil, err
+	}
 	events := make([]depgraph.Event, len(in.Messages))
 	for i, msg := range in.Messages {
 		if msg.Source < 0 || msg.Source >= in.NumSources {
@@ -116,14 +134,24 @@ func Run(in Input, finder factfind.FactFinder, opts Options) (*Output, error) {
 	}
 
 	// Stage 3: fact-finding.
-	res, err := finder.Run(ds)
-	if err != nil {
-		return nil, fmt.Errorf("apollo: %s: %w", finder.Name(), err)
-	}
-
 	reps := make([]string, assign.NumClusters)
 	for c, leader := range assign.Leaders {
 		reps[c] = in.Messages[leader].Text
+	}
+	res, err := finder.RunContext(ctx, ds)
+	if err != nil {
+		out := &Output{
+			Dataset:            ds,
+			MessageAssertion:   assign.Cluster,
+			RepresentativeText: reps,
+			Result:             res,
+		}
+		if runctx.Reason(err) != "" {
+			// Cancellation mid-run: surface the partial output with the
+			// context's error untouched so errors.Is still matches.
+			return out, err
+		}
+		return out, fmt.Errorf("apollo: %s: %w", finder.Name(), err)
 	}
 	return &Output{
 		Dataset:            ds,

@@ -1,6 +1,7 @@
 package apollo
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -141,6 +142,9 @@ type failingFinder struct{}
 func (failingFinder) Name() string { return "failing" }
 func (failingFinder) Run(*claims.Dataset) (*factfind.Result, error) {
 	return nil, errors.New("boom")
+}
+func (f failingFinder) RunContext(context.Context, *claims.Dataset) (*factfind.Result, error) {
+	return f.Run(nil)
 }
 
 func TestPipelinePropagatesFinderErrors(t *testing.T) {

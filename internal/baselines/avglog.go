@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 
 	"depsense/internal/claims"
@@ -26,6 +27,13 @@ func (a *AverageLog) Name() string { return "Average.Log" }
 
 // Run implements factfind.FactFinder.
 func (a *AverageLog) Run(ds *claims.Dataset) (*factfind.Result, error) {
+	return a.RunContext(context.Background(), ds)
+}
+
+// RunContext implements factfind.FactFinder. Cancellation is checked before
+// every belief/trust round; on cancellation the beliefs of the completed
+// rounds are returned with the context's error.
+func (a *AverageLog) RunContext(ctx context.Context, ds *claims.Dataset) (*factfind.Result, error) {
 	iters := a.Iters
 	if iters <= 0 {
 		iters = 20
@@ -38,7 +46,7 @@ func (a *AverageLog) Run(ds *claims.Dataset) (*factfind.Result, error) {
 		claimCount[i] = len(ds.ClaimsD0(i)) + len(ds.ClaimsD1(i))
 		trust[i] = 1
 	}
-	for it := 0; it < iters; it++ {
+	completed, loopErr := heuristicLoop(ctx, a.Name(), iters, func(int) {
 		maxB := 0.0
 		for j := 0; j < m; j++ {
 			b := 0.0
@@ -79,6 +87,10 @@ func (a *AverageLog) Run(ds *claims.Dataset) (*factfind.Result, error) {
 				trust[i] /= maxT
 			}
 		}
-	}
-	return &factfind.Result{Posterior: belief, Iterations: iters, Converged: true}, nil
+	})
+	iterations, converged, stopped := stampHeuristic(completed, loopErr)
+	return &factfind.Result{
+		Posterior: belief, Iterations: iterations, Converged: converged,
+		Stopped: stopped,
+	}, loopErr
 }

@@ -7,6 +7,8 @@
 package baselines
 
 import (
+	"context"
+
 	"depsense/internal/claims"
 	"depsense/internal/core"
 	"depsense/internal/factfind"
@@ -26,7 +28,12 @@ func (e *EM) Name() string { return "EM" }
 
 // Run implements factfind.FactFinder.
 func (e *EM) Run(ds *claims.Dataset) (*factfind.Result, error) {
-	return core.Run(ds, core.VariantIndependent, e.Opts)
+	return e.RunContext(context.Background(), ds)
+}
+
+// RunContext implements factfind.FactFinder.
+func (e *EM) RunContext(ctx context.Context, ds *claims.Dataset) (*factfind.Result, error) {
+	return core.RunCtx(ctx, ds, core.VariantIndependent, e.Opts)
 }
 
 // EMSocial is the IPSN'14 estimator: dependent claims are assumed to carry
@@ -43,7 +50,12 @@ func (e *EMSocial) Name() string { return "EM-Social" }
 
 // Run implements factfind.FactFinder.
 func (e *EMSocial) Run(ds *claims.Dataset) (*factfind.Result, error) {
-	return core.Run(ds, core.VariantSocial, e.Opts)
+	return e.RunContext(context.Background(), ds)
+}
+
+// RunContext implements factfind.FactFinder.
+func (e *EMSocial) RunContext(ctx context.Context, ds *claims.Dataset) (*factfind.Result, error) {
+	return core.RunCtx(ctx, ds, core.VariantSocial, e.Opts)
 }
 
 // All returns the full algorithm lineup of the empirical evaluation

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 
 	"depsense/internal/claims"
@@ -39,6 +40,13 @@ func (v *Investment) Name() string { return "Investment" }
 
 // Run implements factfind.FactFinder.
 func (v *Investment) Run(ds *claims.Dataset) (*factfind.Result, error) {
+	return v.RunContext(context.Background(), ds)
+}
+
+// RunContext implements factfind.FactFinder. Cancellation is checked before
+// every investment round; on cancellation the beliefs of the completed
+// rounds are returned with the context's error.
+func (v *Investment) RunContext(ctx context.Context, ds *claims.Dataset) (*factfind.Result, error) {
 	iters := v.Iters
 	if iters <= 0 {
 		iters = 20
@@ -66,7 +74,7 @@ func (v *Investment) Run(ds *claims.Dataset) (*factfind.Result, error) {
 		}
 	}
 
-	for it := 0; it < iters; it++ {
+	completed, loopErr := heuristicLoop(ctx, v.Name(), iters, func(int) {
 		// Invest: every source splits its trust across its claims.
 		for j := range invested {
 			invested[j] = 0
@@ -122,8 +130,12 @@ func (v *Investment) Run(ds *claims.Dataset) (*factfind.Result, error) {
 			}
 		}
 		trust = newTrust
-	}
-	return &factfind.Result{Posterior: belief, Iterations: iters, Converged: true}, nil
+	})
+	iterations, converged, stopped := stampHeuristic(completed, loopErr)
+	return &factfind.Result{
+		Posterior: belief, Iterations: iterations, Converged: converged,
+		Stopped: stopped,
+	}, loopErr
 }
 
 // PooledInvestment is the PooledInvestment variant of Investment: beliefs
@@ -143,6 +155,13 @@ func (v *PooledInvestment) Name() string { return "PooledInvestment" }
 
 // Run implements factfind.FactFinder.
 func (v *PooledInvestment) Run(ds *claims.Dataset) (*factfind.Result, error) {
+	return v.RunContext(context.Background(), ds)
+}
+
+// RunContext implements factfind.FactFinder. Cancellation is checked before
+// every investment round; on cancellation the beliefs of the completed
+// rounds are returned with the context's error.
+func (v *PooledInvestment) RunContext(ctx context.Context, ds *claims.Dataset) (*factfind.Result, error) {
 	iters := v.Iters
 	if iters <= 0 {
 		iters = 20
@@ -168,7 +187,7 @@ func (v *PooledInvestment) Run(ds *claims.Dataset) (*factfind.Result, error) {
 			fn(j)
 		}
 	}
-	for it := 0; it < iters; it++ {
+	completed, loopErr := heuristicLoop(ctx, v.Name(), iters, func(int) {
 		for j := range linear {
 			linear[j] = 0
 		}
@@ -230,6 +249,10 @@ func (v *PooledInvestment) Run(ds *claims.Dataset) (*factfind.Result, error) {
 			}
 		}
 		trust = newTrust
-	}
-	return &factfind.Result{Posterior: belief, Iterations: iters, Converged: true}, nil
+	})
+	iterations, converged, stopped := stampHeuristic(completed, loopErr)
+	return &factfind.Result{
+		Posterior: belief, Iterations: iterations, Converged: converged,
+		Stopped: stopped,
+	}, loopErr
 }

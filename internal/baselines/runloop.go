@@ -1,0 +1,50 @@
+package baselines
+
+import (
+	"context"
+	"time"
+
+	"depsense/internal/runctx"
+)
+
+// heuristicLoop drives the fixed-round belief/trust iteration shared by the
+// Pasternack & Roth family (Sums, Average.Log, Investment,
+// PooledInvestment) under a run-context: the context is checked before
+// every round — bounding cancellation latency to one round's work — and any
+// runctx hook fires after each completed round. It returns the number of
+// completed rounds plus the context's error if cancellation cut the loop
+// short; the caller's accumulator state after a partial run is the
+// deterministic product of the completed rounds.
+func heuristicLoop(ctx context.Context, name string, rounds int, round func(it int)) (completed int, err error) {
+	hook := runctx.HookFrom(ctx)
+	start := time.Now()
+	for it := 0; it < rounds; it++ {
+		if err := runctx.Err(ctx); err != nil {
+			hook.Emit(runctx.Iteration{
+				Algorithm: name, N: it, Elapsed: time.Since(start),
+				Done: true, Stopped: runctx.Reason(err),
+			})
+			return it, err
+		}
+		round(it)
+		done := it+1 == rounds
+		iter := runctx.Iteration{
+			Algorithm: name, N: it + 1, Elapsed: time.Since(start), Done: done,
+		}
+		if done {
+			iter.Stopped = runctx.StopConverged
+		}
+		hook.Emit(iter)
+	}
+	return rounds, nil
+}
+
+// heuristicResult stamps the lifecycle fields of a fixed-round heuristic's
+// result: a completed loop counts as converged, a cancelled one carries the
+// context's stop reason.
+func stampHeuristic(completed int, err error) (iterations int, converged bool, stopped string) {
+	if err != nil {
+		return completed, false, runctx.Reason(err)
+	}
+	return completed, true, runctx.StopConverged
+}

@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"context"
+
 	"depsense/internal/claims"
 	"depsense/internal/factfind"
 )
@@ -21,6 +23,13 @@ func (s *Sums) Name() string { return "Sums" }
 
 // Run implements factfind.FactFinder.
 func (s *Sums) Run(ds *claims.Dataset) (*factfind.Result, error) {
+	return s.RunContext(context.Background(), ds)
+}
+
+// RunContext implements factfind.FactFinder. Cancellation is checked before
+// every belief/trust round; on cancellation the beliefs of the completed
+// rounds are returned with the context's error.
+func (s *Sums) RunContext(ctx context.Context, ds *claims.Dataset) (*factfind.Result, error) {
 	iters := s.Iters
 	if iters <= 0 {
 		iters = 20
@@ -31,7 +40,7 @@ func (s *Sums) Run(ds *claims.Dataset) (*factfind.Result, error) {
 	for i := range trust {
 		trust[i] = 1
 	}
-	for it := 0; it < iters; it++ {
+	completed, loopErr := heuristicLoop(ctx, s.Name(), iters, func(int) {
 		maxB := 0.0
 		for j := 0; j < m; j++ {
 			b := 0.0
@@ -67,6 +76,10 @@ func (s *Sums) Run(ds *claims.Dataset) (*factfind.Result, error) {
 				trust[i] /= maxT
 			}
 		}
-	}
-	return &factfind.Result{Posterior: belief, Iterations: iters, Converged: true}, nil
+	})
+	iterations, converged, stopped := stampHeuristic(completed, loopErr)
+	return &factfind.Result{
+		Posterior: belief, Iterations: iterations, Converged: converged,
+		Stopped: stopped,
+	}, loopErr
 }

@@ -1,10 +1,13 @@
 package baselines
 
 import (
+	"context"
 	"math"
+	"time"
 
 	"depsense/internal/claims"
 	"depsense/internal/factfind"
+	"depsense/internal/runctx"
 )
 
 // TruthFinder is the iterative fact-finder of Yin, Han & Yu (TKDE 2008),
@@ -37,6 +40,13 @@ func (t *TruthFinder) Name() string { return "Truth-Finder" }
 
 // Run implements factfind.FactFinder.
 func (t *TruthFinder) Run(ds *claims.Dataset) (*factfind.Result, error) {
+	return t.RunContext(context.Background(), ds)
+}
+
+// RunContext implements factfind.FactFinder. Cancellation is checked before
+// every trust/confidence round; on cancellation the confidences of the
+// completed rounds are returned with the context's error.
+func (t *TruthFinder) RunContext(ctx context.Context, ds *claims.Dataset) (*factfind.Result, error) {
 	initTrust := t.InitialTrust
 	if initTrust <= 0 || initTrust >= 1 {
 		initTrust = 0.9
@@ -62,9 +72,21 @@ func (t *TruthFinder) Run(ds *claims.Dataset) (*factfind.Result, error) {
 		trust[i] = initTrust
 	}
 
+	hook := runctx.HookFrom(ctx)
+	start := time.Now()
 	iter := 0
 	converged := false
 	for iter = 1; iter <= maxIters; iter++ {
+		if err := runctx.Err(ctx); err != nil {
+			stopped := runctx.Reason(err)
+			hook.Emit(runctx.Iteration{
+				Algorithm: t.Name(), N: iter - 1, Elapsed: time.Since(start),
+				Done: true, Stopped: stopped,
+			})
+			return &factfind.Result{
+				Posterior: conf, Iterations: iter - 1, Stopped: stopped,
+			}, err
+		}
 		copy(prev, trust)
 		for j := 0; j < m; j++ {
 			score := 0.0
@@ -95,10 +117,23 @@ func (t *TruthFinder) Run(ds *claims.Dataset) (*factfind.Result, error) {
 		}
 		if 1-cosine(trust, prev) < tol {
 			converged = true
+		}
+		it := runctx.Iteration{
+			Algorithm: t.Name(), N: iter, Elapsed: time.Since(start),
+			Done: converged,
+		}
+		if converged {
+			it.Stopped = runctx.StopConverged
+		}
+		hook.Emit(it)
+		if converged {
 			break
 		}
 	}
-	return &factfind.Result{Posterior: conf, Iterations: iter, Converged: converged}, nil
+	return &factfind.Result{
+		Posterior: conf, Iterations: iter, Converged: converged,
+		Stopped: runctx.StopOf(converged),
+	}, nil
 }
 
 // cosine returns the cosine similarity of two equal-length vectors, 1 for

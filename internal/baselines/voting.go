@@ -1,8 +1,11 @@
 package baselines
 
 import (
+	"context"
+
 	"depsense/internal/claims"
 	"depsense/internal/factfind"
+	"depsense/internal/runctx"
 )
 
 // Voting ranks assertions by their raw support count: the number of sources
@@ -17,6 +20,16 @@ func (v *Voting) Name() string { return "Voting" }
 
 // Run implements factfind.FactFinder.
 func (v *Voting) Run(ds *claims.Dataset) (*factfind.Result, error) {
+	return v.RunContext(context.Background(), ds)
+}
+
+// RunContext implements factfind.FactFinder. Voting is a single pass, so
+// the context is checked once up front; there is no partial state to
+// return.
+func (v *Voting) RunContext(ctx context.Context, ds *claims.Dataset) (*factfind.Result, error) {
+	if err := runctx.Err(ctx); err != nil {
+		return nil, err
+	}
 	scores := make([]float64, ds.M())
 	maxScore := 0.0
 	for j := 0; j < ds.M(); j++ {
@@ -30,5 +43,8 @@ func (v *Voting) Run(ds *claims.Dataset) (*factfind.Result, error) {
 			scores[j] /= maxScore
 		}
 	}
-	return &factfind.Result{Posterior: scores, Iterations: 1, Converged: true}, nil
+	return &factfind.Result{
+		Posterior: scores, Iterations: 1, Converged: true,
+		Stopped: runctx.StopConverged,
+	}, nil
 }

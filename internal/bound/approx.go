@@ -1,11 +1,15 @@
 package bound
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"depsense/internal/gibbs"
+	"depsense/internal/randutil"
+	"depsense/internal/runctx"
 )
 
 // ApproxOptions tunes the Gibbs-sampling bound approximation (Algorithm 1).
@@ -61,10 +65,26 @@ func (o ApproxOptions) normalized() ApproxOptions {
 // unbiased at any n, including the large-n regimes where every individual
 // pattern has vanishing probability.
 func Approx(c Column, opts ApproxOptions, rng *rand.Rand) (Result, error) {
+	return ApproxContext(context.Background(), c, opts, rng)
+}
+
+// ApproxContext is Approx under a run-context. Cancellation is checked once
+// per sweep (burn-in included), so a cancel returns within one O(n) sweep;
+// on cancellation the partial Monte Carlo averages over the samples drawn so
+// far are returned together with the context's error. Any runctx hook on
+// ctx fires at every convergence checkpoint (every CheckEvery sweeps) with
+// the cumulative sample count. A nil rng falls back to the context's
+// generator (runctx.WithRNG), then to a fixed seed.
+func ApproxContext(ctx context.Context, c Column, opts ApproxOptions, rng *rand.Rand) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
 	}
 	opts = opts.normalized()
+	if rng == nil {
+		if rng = runctx.RNGFrom(ctx); rng == nil {
+			rng = randutil.New(1)
+		}
+	}
 
 	n := c.N()
 	pOn := [][]float64{make([]float64, n), make([]float64, n)}
@@ -78,18 +98,25 @@ func Approx(c Column, opts ApproxOptions, rng *rand.Rand) (Result, error) {
 		return Result{}, fmt.Errorf("bound: build chain: %w", err)
 	}
 
-	for s := 0; s < opts.BurnIn; s++ {
-		chain.Sweep()
+	hook := runctx.HookFrom(ctx)
+	start := time.Now()
+	if _, err := chain.SweepN(ctx, opts.BurnIn); err != nil {
+		return Result{}, err
 	}
 
 	var (
 		sumErr, sumSq float64
 		sumFP, sumFN  float64
 		samples       int
+		checkpoints   int
 		lastEstimate  = math.Inf(1)
 		res           Result
+		stop          error
 	)
 	for s := 0; s < opts.MaxSweeps; s++ {
+		if stop = runctx.Err(ctx); stop != nil {
+			break
+		}
 		chain.Sweep()
 		lw := chain.LogJointWeights()
 		// r = min(w1,w0)/(w1+w0) computed stably in log space.
@@ -115,10 +142,29 @@ func Approx(c Column, opts ApproxOptions, rng *rand.Rand) (Result, error) {
 
 		if samples%opts.CheckEvery == 0 {
 			est := sumErr / float64(samples)
-			if math.Abs(est-lastEstimate) < opts.Tol {
+			checkpoints++
+			converged := math.Abs(est-lastEstimate) < opts.Tol
+			it := runctx.Iteration{
+				Algorithm: "gibbs-bound", N: checkpoints, Samples: samples,
+				Elapsed: time.Since(start), Done: converged,
+			}
+			if converged {
+				it.Stopped = runctx.StopConverged
+			}
+			hook.Emit(it)
+			if converged {
 				break
 			}
 			lastEstimate = est
+		}
+	}
+	if stop != nil {
+		hook.Emit(runctx.Iteration{
+			Algorithm: "gibbs-bound", N: checkpoints + 1, Samples: samples,
+			Elapsed: time.Since(start), Done: true, Stopped: runctx.Reason(stop),
+		})
+		if samples == 0 {
+			return Result{}, stop
 		}
 	}
 
@@ -133,7 +179,9 @@ func Approx(c Column, opts ApproxOptions, rng *rand.Rand) (Result, error) {
 		// understates uncertainty but is still a useful scale indicator.
 		res.StdErr = math.Sqrt(variance / fs)
 	}
-	return res, nil
+	// stop is non-nil when cancellation cut the chain short: the partial
+	// averages are still returned alongside the context error.
+	return res, stop
 }
 
 // clampOpen forces p strictly inside (0,1) as the mixture chain requires.

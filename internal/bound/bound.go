@@ -11,11 +11,14 @@
 package bound
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"depsense/internal/model"
+	"depsense/internal/runctx"
 )
 
 // Column is the bound's input for a single assertion: the prior z and, for
@@ -123,10 +126,26 @@ type Result struct {
 	Sweeps   int
 }
 
+// ExactBlockPatterns is the cancellation granularity of the exact
+// enumeration: the context is checked (and any runctx hook fired) once per
+// this many enumerated patterns, so a cancel returns within one block —
+// microseconds of work — regardless of n.
+const ExactBlockPatterns = 1 << 15
+
 // Exact enumerates all 2^n claim patterns (Eq. 3). The enumeration shares
 // prefix products through recursion, so total work is O(2^n) rather than
 // O(n·2^n).
 func Exact(c Column) (Result, error) {
+	return ExactContext(context.Background(), c)
+}
+
+// ExactContext is Exact under a run-context: cancellation is checked every
+// ExactBlockPatterns enumerated patterns, and any runctx hook on ctx fires
+// at the same cadence with the cumulative pattern count. On cancellation it
+// returns the partial sums accumulated so far together with the context's
+// error — the partial Result is a deterministic function of the enumeration
+// prefix completed.
+func ExactContext(ctx context.Context, c Column) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -134,9 +153,22 @@ func Exact(c Column) (Result, error) {
 	if n > MaxExactSources {
 		return Result{}, fmt.Errorf("%w: n=%d > %d", ErrTooManyExact, n, MaxExactSources)
 	}
-	var res Result
+	if err := runctx.Err(ctx); err != nil {
+		return Result{}, err
+	}
+	var (
+		res      Result
+		patterns int
+		stop     error
+		hook     = runctx.HookFrom(ctx)
+		start    = time.Now()
+		blocks   int
+	)
 	var rec func(i int, w1, w0 float64)
 	rec = func(i int, w1, w0 float64) {
+		if stop != nil {
+			return
+		}
 		if i == n {
 			// The optimal estimator picks the larger joint mass; the loser
 			// is the conditional error contribution. Ties break toward
@@ -146,6 +178,20 @@ func Exact(c Column) (Result, error) {
 			} else {
 				res.FalseNeg += w1
 			}
+			patterns++
+			if patterns%ExactBlockPatterns == 0 {
+				blocks++
+				stop = runctx.Err(ctx)
+				it := runctx.Iteration{
+					Algorithm: "exact-bound", N: blocks, Samples: patterns,
+					Elapsed: time.Since(start),
+				}
+				if stop != nil {
+					it.Done = true
+					it.Stopped = runctx.Reason(stop)
+				}
+				hook.Emit(it)
+			}
 			return
 		}
 		rec(i+1, w1*c.P1[i], w0*c.P0[i])
@@ -153,5 +199,8 @@ func Exact(c Column) (Result, error) {
 	}
 	rec(0, c.Z, 1-c.Z)
 	res.Err = res.FalsePos + res.FalseNeg
+	if stop != nil {
+		return res, stop
+	}
 	return res, nil
 }

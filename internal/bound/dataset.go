@@ -1,6 +1,7 @@
 package bound
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"depsense/internal/claims"
 	"depsense/internal/model"
 	"depsense/internal/randutil"
+	"depsense/internal/runctx"
 )
 
 // Method selects how per-column bounds are computed for a dataset.
@@ -43,6 +45,14 @@ type DatasetOptions struct {
 // evaluated once and weighted by multiplicity — the dominant saving in the
 // paper's forest-structured simulations, where columns repeat heavily.
 func ForDataset(ds *claims.Dataset, p *model.Params, opts DatasetOptions, rng *rand.Rand) (Result, error) {
+	return ForDatasetContext(context.Background(), ds, p, opts, rng)
+}
+
+// ForDatasetContext is ForDataset under a run-context. The context is
+// threaded into each per-column computation (exact enumeration blocks and
+// Gibbs sweeps both check it), and also checked between columns, so a
+// cancel returns within one block/sweep of work with the context's error.
+func ForDatasetContext(ctx context.Context, ds *claims.Dataset, p *model.Params, opts DatasetOptions, rng *rand.Rand) (Result, error) {
 	if ds.M() == 0 {
 		return Result{}, fmt.Errorf("bound: dataset has no assertions")
 	}
@@ -83,6 +93,9 @@ func ForDataset(ds *claims.Dataset, p *model.Params, opts DatasetOptions, rng *r
 	var agg Result
 	totalWeight := 0.0
 	for _, key := range selected {
+		if err := runctx.Err(ctx); err != nil {
+			return Result{}, err
+		}
 		g := groups[key]
 		col, err := NewColumn(p, g.col)
 		if err != nil {
@@ -91,9 +104,9 @@ func ForDataset(ds *claims.Dataset, p *model.Params, opts DatasetOptions, rng *r
 		var r Result
 		switch opts.Method {
 		case MethodExact:
-			r, err = Exact(col)
+			r, err = ExactContext(ctx, col)
 		case MethodApprox:
-			r, err = Approx(col, opts.Approx, rng)
+			r, err = ApproxContext(ctx, col, opts.Approx, rng)
 		case MethodConvolution:
 			r, err = Convolution(col, opts.Convolution)
 		default:

@@ -14,14 +14,17 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"depsense/internal/claims"
 	"depsense/internal/factfind"
 	"depsense/internal/model"
 	"depsense/internal/randutil"
+	"depsense/internal/runctx"
 )
 
 // Variant selects which likelihood the EM engine maximizes.
@@ -201,14 +204,33 @@ func (e *EMExt) Name() string { return "EM-Ext" }
 
 // Run implements factfind.FactFinder.
 func (e *EMExt) Run(ds *claims.Dataset) (*factfind.Result, error) {
-	return Run(ds, VariantExt, e.Opts)
+	return e.RunContext(context.Background(), ds)
 }
 
-// Run executes the EM engine for the given variant.
+// RunContext implements factfind.FactFinder.
+func (e *EMExt) RunContext(ctx context.Context, ds *claims.Dataset) (*factfind.Result, error) {
+	return RunCtx(ctx, ds, VariantExt, e.Opts)
+}
+
+// Run executes the EM engine for the given variant without cancellation or
+// observability, the pre-runctx contract kept for batch callers.
 func Run(ds *claims.Dataset, variant Variant, opts Options) (*factfind.Result, error) {
+	return RunCtx(context.Background(), ds, variant, opts)
+}
+
+// RunCtx executes the EM engine for the given variant under a run-context.
+// Cancellation is checked once per E/M iteration; on cancellation it returns
+// the context's error together with the partial result of the interrupted
+// restart (posteriors from the last completed E-step, Stopped set from the
+// context error). Any runctx hook on ctx fires after every iteration with
+// the current log-likelihood.
+func RunCtx(ctx context.Context, ds *claims.Dataset, variant Variant, opts Options) (*factfind.Result, error) {
 	opts = opts.normalized()
 	if ds.N() == 0 || ds.M() == 0 {
 		return nil, ErrEmptyDataset
+	}
+	if err := runctx.Err(ctx); err != nil {
+		return nil, err
 	}
 	if opts.Init != nil {
 		if err := opts.Init.Validate(); err != nil {
@@ -223,7 +245,7 @@ func Run(ds *claims.Dataset, variant Variant, opts Options) (*factfind.Result, e
 	if variant == VariantExt && opts.Init == nil &&
 		(opts.InitMode == InitDefault || opts.InitMode == InitStaged) {
 		if depMode(ds, opts) == DepModePlugin {
-			return runPlugin(ds, opts)
+			return runPlugin(ctx, ds, opts)
 		}
 	}
 
@@ -246,8 +268,11 @@ func Run(ds *claims.Dataset, variant Variant, opts Options) (*factfind.Result, e
 			coarseOpts.InitMode = InitVote
 			coarseOpts.Restarts = 1
 			coarseOpts.Seed = opts.Seed + int64(r)*7919
-			coarse, err := Run(ds, VariantIndependent, coarseOpts)
+			coarse, err := RunCtx(ctx, ds, VariantIndependent, coarseOpts)
 			if err != nil {
+				if runctx.Reason(err) != "" {
+					return coarse, err
+				}
 				return nil, fmt.Errorf("core: staged init: %w", err)
 			}
 			init = coarse.Params.Clone()
@@ -263,9 +288,13 @@ func Run(ds *claims.Dataset, variant Variant, opts Options) (*factfind.Result, e
 			init = model.NewParams(ds.N(), 0.5)
 			seedPost = votePosteriors(ds, rng, r > 0)
 		}
-		res, err := runOnce(ds, variant, init, seedPost, opts)
+		res, err := runOnce(ctx, ds, variant, init, seedPost, opts)
 		if err != nil {
-			return nil, err
+			// Cancellation mid-restart: surface the interrupted restart's
+			// partial state rather than silently keeping an earlier best —
+			// partial results must be deterministic functions of where the
+			// run stopped.
+			return res, err
 		}
 		if best == nil || res.LogLikelihood > best.LogLikelihood {
 			best = res
@@ -329,7 +358,7 @@ type engine struct {
 	silZ, silY     []float64
 }
 
-func runOnce(ds *claims.Dataset, variant Variant, params *model.Params, seedPost []float64, opts Options) (*factfind.Result, error) {
+func runOnce(ctx context.Context, ds *claims.Dataset, variant Variant, params *model.Params, seedPost []float64, opts Options) (*factfind.Result, error) {
 	n, m := ds.N(), ds.M()
 	eng := &engine{
 		ds:        ds,
@@ -365,13 +394,47 @@ func runOnce(ds *claims.Dataset, variant Variant, params *model.Params, seedPost
 		converged bool
 		ll        float64
 	)
+	hook := runctx.HookFrom(ctx)
+	start := time.Now()
+	result := func(stopped string) *factfind.Result {
+		return &factfind.Result{
+			Posterior:     append([]float64(nil), eng.post...),
+			Params:        params,
+			Iterations:    iter,
+			Converged:     converged,
+			LogLikelihood: ll,
+			Stopped:       stopped,
+		}
+	}
 	prev := params.Clone()
 	for iter = 1; iter <= opts.MaxIters; iter++ {
+		// One cancellation check per E/M iteration bounds the latency of a
+		// cancel to a single iteration's work, and the partial state — the
+		// posteriors of the last completed E-step — stays deterministic.
+		if err := runctx.Err(ctx); err != nil {
+			iter--
+			stopped := runctx.Reason(err)
+			hook.Emit(runctx.Iteration{
+				Algorithm: variant.String(), N: iter, LogLikelihood: ll,
+				Elapsed: time.Since(start), Done: true, Stopped: stopped,
+			})
+			return result(stopped), err
+		}
 		eng.refreshLogs(params)
 		ll = eng.eStep(params)
 		eng.mStep(params)
 		if params.MaxAbsDiff(prev) < opts.Tol {
 			converged = true
+		}
+		it := runctx.Iteration{
+			Algorithm: variant.String(), N: iter, LogLikelihood: ll,
+			Elapsed: time.Since(start), Done: converged,
+		}
+		if converged {
+			it.Stopped = runctx.StopConverged
+		}
+		hook.Emit(it)
+		if converged {
 			break
 		}
 		copy(prev.Sources, params.Sources)
@@ -380,14 +443,14 @@ func runOnce(ds *claims.Dataset, variant Variant, params *model.Params, seedPost
 	// Final E-step so posteriors reflect the final parameters.
 	eng.refreshLogs(params)
 	ll = eng.eStep(params)
+	if !converged {
+		hook.Emit(runctx.Iteration{
+			Algorithm: variant.String(), N: opts.MaxIters, LogLikelihood: ll,
+			Elapsed: time.Since(start), Done: true, Stopped: runctx.StopIterationCap,
+		})
+	}
 
-	return &factfind.Result{
-		Posterior:     append([]float64(nil), eng.post...),
-		Params:        params,
-		Iterations:    iter,
-		Converged:     converged,
-		LogLikelihood: ll,
-	}, nil
+	return result(runctx.StopOf(converged)), nil
 }
 
 func (e *engine) refreshLogs(p *model.Params) {

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"depsense/internal/claims"
 	"depsense/internal/factfind"
 	"depsense/internal/model"
+	"depsense/internal/runctx"
 )
 
 // depMode resolves DepModeAuto against the dataset's dependent-pair
@@ -43,12 +45,23 @@ func DependentPairsPerSource(ds *claims.Dataset) float64 {
 // EM-Social model, estimate a single pooled dependent channel from its
 // posteriors, and re-score every assertion with one dependency-aware
 // E-step. See DepMode for why the joint fit is not used here.
-func runPlugin(ds *claims.Dataset, opts Options) (*factfind.Result, error) {
+func runPlugin(ctx context.Context, ds *claims.Dataset, opts Options) (*factfind.Result, error) {
 	coarseOpts := opts
 	coarseOpts.InitMode = InitVote
-	coarse, err := Run(ds, VariantSocial, coarseOpts)
+	coarse, err := RunCtx(ctx, ds, VariantSocial, coarseOpts)
 	if err != nil {
+		if runctx.Reason(err) != "" {
+			// Cancelled during the coarse stage: the dependency-blind
+			// partial fit is the deterministic partial state.
+			return coarse, err
+		}
 		return nil, fmt.Errorf("core: plugin coarse stage: %w", err)
+	}
+	// The re-score below is a single E-step; one check before it bounds the
+	// plug-in stage's cancellation latency.
+	if err := runctx.Err(ctx); err != nil {
+		coarse.Stopped = runctx.Reason(err)
+		return coarse, err
 	}
 	params := coarse.Params.Clone()
 	f, g := PooledDependentChannel(ds, coarse.Posterior)
@@ -66,6 +79,7 @@ func runPlugin(ds *claims.Dataset, opts Options) (*factfind.Result, error) {
 		Iterations:    coarse.Iterations + 1,
 		Converged:     coarse.Converged,
 		LogLikelihood: ll,
+		Stopped:       coarse.Stopped,
 	}, nil
 }
 

@@ -93,6 +93,9 @@ func boundSweep(label, xName string, xs []float64, cfgs []synthetic.Config, c Co
 		var exact, approx, exFP, apFP, exFN, apFN stats.Series
 		var exactTime, approxTime time.Duration
 		for r := 0; r < c.BoundRuns; r++ {
+			if err := c.Ctx.Err(); err != nil {
+				return BoundSeries{}, err
+			}
 			rng := randutil.New(c.Seed + int64(1000*k+r))
 			w, err := synthetic.Generate(cfg, rng)
 			if err != nil {
@@ -104,7 +107,7 @@ func boundSweep(label, xName string, xs []float64, cfgs []synthetic.Config, c Co
 			// generators.
 			colSeed := rng.Int63()
 			start := time.Now()
-			ex, err := bound.ForDataset(w.Dataset, w.TrueParams, bound.DatasetOptions{
+			ex, err := bound.ForDatasetContext(c.Ctx, w.Dataset, w.TrueParams, bound.DatasetOptions{
 				Method:     bound.MethodExact,
 				MaxColumns: c.MaxExactColumns,
 			}, randutil.New(colSeed))
@@ -114,7 +117,7 @@ func boundSweep(label, xName string, xs []float64, cfgs []synthetic.Config, c Co
 			exactTime += time.Since(start)
 
 			start = time.Now()
-			ap, err := bound.ForDataset(w.Dataset, w.TrueParams, bound.DatasetOptions{
+			ap, err := bound.ForDatasetContext(c.Ctx, w.Dataset, w.TrueParams, bound.DatasetOptions{
 				Method:     bound.MethodApprox,
 				MaxColumns: c.MaxExactColumns,
 				Approx:     bound.ApproxOptions{MaxSweeps: c.GibbsSweeps},

@@ -62,7 +62,7 @@ func Empirical(c Config) (EmpiricalResult, error) {
 			in := apollo.Input{NumSources: sc.Sources, Messages: msgs, Graph: w.Graph}
 
 			for _, alg := range baselines.All(c.Seed + int64(seed)) {
-				pipe, err := apollo.Run(in, alg, apollo.Options{TopK: c.TopK})
+				pipe, err := apollo.RunContext(c.Ctx, in, alg, apollo.Options{TopK: c.TopK})
 				if err != nil {
 					return EmpiricalResult{}, fmt.Errorf("eval: empirical %s %s: %w", sc.Name, alg.Name(), err)
 				}

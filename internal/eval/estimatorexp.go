@@ -79,7 +79,7 @@ func estimatorSweep(label, xName string, xs []float64, cfgs []synthetic.Config, 
 	series := EstimatorSeries{Label: label, XName: xName}
 	for k, cfg := range cfgs {
 		runs := make([]runMetrics, c.EstimatorRuns)
-		err := parallel.ForEach(c.EstimatorRuns, c.Workers, func(r int) error {
+		err := parallel.ForEachCtx(c.Ctx, c.EstimatorRuns, c.Workers, func(r int) error {
 			rng := randutil.New(c.Seed + int64(10000*k+r))
 			w, err := synthetic.Generate(cfg, rng)
 			if err != nil {
@@ -91,7 +91,7 @@ func estimatorSweep(label, xName string, xs []float64, cfgs []synthetic.Config, 
 				&baselines.EMSocial{Opts: core.Options{Seed: int64(r)}},
 			}
 			for ai, alg := range algs {
-				res, err := alg.Run(w.Dataset)
+				res, err := alg.RunContext(c.Ctx, w.Dataset)
 				if err != nil {
 					return fmt.Errorf("eval: %s %s: %w", label, alg.Name(), err)
 				}
@@ -104,7 +104,7 @@ func estimatorSweep(label, xName string, xs []float64, cfgs []synthetic.Config, 
 				runs[r].fn[ai] = cl.FalseNegRate
 			}
 			if r < c.OptimalRuns {
-				br, err := bound.ForDataset(w.Dataset, w.TrueParams, bound.DatasetOptions{
+				br, err := bound.ForDatasetContext(c.Ctx, w.Dataset, w.TrueParams, bound.DatasetOptions{
 					Method:     bound.MethodApprox,
 					MaxColumns: 8,
 					Approx:     bound.ApproxOptions{MaxSweeps: c.GibbsSweeps / 4},

@@ -9,6 +9,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -16,6 +17,11 @@ import (
 
 // Config scales the experiment runners.
 type Config struct {
+	// Ctx, when set, bounds the runners: cancellation stops dispatching
+	// repetitions and propagates the context's error. It lives in Config
+	// rather than in every Fig* signature so the dozen exported runners
+	// keep their simple (Config) shape. Nil means context.Background().
+	Ctx context.Context
 	// Seed drives all randomness.
 	Seed int64
 	// BoundRuns is the number of independent repetitions for the bound
@@ -81,6 +87,9 @@ func QuickConfig() Config {
 
 func (c Config) normalized() Config {
 	d := DefaultConfig()
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
 	if c.BoundRuns <= 0 {
 		c.BoundRuns = d.BoundRuns
 	}

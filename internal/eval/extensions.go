@@ -86,7 +86,7 @@ func ExtSybilAttack(c Config) (SybilResult, error) {
 			}
 			in := apollo.Input{NumSources: sc.Sources + sc.Sybils, Messages: msgs, Graph: w.Graph}
 			for _, alg := range baselines.All(c.Seed + int64(seed)) {
-				pipe, err := apollo.Run(in, alg, apollo.Options{TopK: c.TopK})
+				pipe, err := apollo.RunContext(c.Ctx, in, alg, apollo.Options{TopK: c.TopK})
 				if err != nil {
 					return SybilResult{}, fmt.Errorf("eval: sybil %s: %w", alg.Name(), err)
 				}

@@ -5,6 +5,7 @@
 package factfind
 
 import (
+	"context"
 	"sort"
 
 	"depsense/internal/claims"
@@ -31,15 +32,31 @@ type Result struct {
 	// LogLikelihood is the final data log-likelihood for EM estimators
 	// (Eq. 7); zero for heuristics.
 	LogLikelihood float64
+	// Stopped records why the run ended: one of the runctx.Stop* reasons
+	// ("converged", "iteration-cap", "cancelled", "deadline"). It refines
+	// Converged — tests and serving layers can assert not just whether a
+	// run finished but why it stopped.
+	Stopped string
 }
 
 // FactFinder scores the assertions of a dataset.
+//
+// RunContext is the primary contract: it honors the context's cancellation
+// and deadline at iteration granularity and fires any runctx hook the
+// context carries. On cancellation it returns the context's error together
+// with the run's deterministic partial result (Stopped set to "cancelled"
+// or "deadline"), so callers can report completed iterations instead of
+// losing the run. Run is the backward-compatible adapter, equivalent to
+// RunContext(context.Background(), ds).
 type FactFinder interface {
 	// Name returns the algorithm's display name as used in the paper's
 	// figures (e.g. "EM-Ext", "Voting").
 	Name() string
 	// Run scores every assertion in the dataset.
 	Run(ds *claims.Dataset) (*Result, error)
+	// RunContext scores every assertion, honoring ctx for cancellation,
+	// deadlines, and iteration hooks.
+	RunContext(ctx context.Context, ds *claims.Dataset) (*Result, error)
 }
 
 // DefaultThreshold is the posterior decision threshold used throughout the

@@ -13,10 +13,13 @@
 package gibbs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"depsense/internal/runctx"
 )
 
 // Model defines a joint distribution over binary vectors through its full
@@ -55,6 +58,19 @@ func (s *Sampler) Sweep() {
 	for i := range s.state {
 		s.state[i] = s.rng.Float64() < s.model.CondProbOne(s.state, i)
 	}
+}
+
+// SweepN runs up to n sweeps, checking ctx between sweeps — the per-sweep
+// checkpoint of the run-context layer. It returns the number of completed
+// sweeps and the context's error if cancellation cut the run short.
+func (s *Sampler) SweepN(ctx context.Context, n int) (int, error) {
+	for done := 0; done < n; done++ {
+		if err := runctx.Err(ctx); err != nil {
+			return done, err
+		}
+		s.Sweep()
+	}
+	return n, nil
 }
 
 // State returns the current vector. The slice is owned by the Sampler; copy
@@ -201,6 +217,20 @@ func (c *ProductMixtureChain) sampleBit(i int) {
 			c.logW[k] = minusSlice[k] + c.logOff[k][i]
 		}
 	}
+}
+
+// SweepN runs up to n sweeps, checking ctx between sweeps. It returns the
+// number of completed sweeps and the context's error if cancellation cut the
+// run short; the chain state after a partial run is the deterministic result
+// of the completed sweeps.
+func (c *ProductMixtureChain) SweepN(ctx context.Context, n int) (int, error) {
+	for done := 0; done < n; done++ {
+		if err := runctx.Err(ctx); err != nil {
+			return done, err
+		}
+		c.Sweep()
+	}
+	return n, nil
 }
 
 // State returns the current vector, owned by the chain.

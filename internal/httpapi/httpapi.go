@@ -11,16 +11,19 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"depsense/internal/apollo"
 	"depsense/internal/baselines"
 	"depsense/internal/depgraph"
 	"depsense/internal/factfind"
+	"depsense/internal/runctx"
 	"depsense/internal/tweetjson"
 )
 
@@ -33,6 +36,10 @@ type Options struct {
 	DefaultTopK int
 	// Seed drives the estimators' initialization.
 	Seed int64
+	// ComputeTimeout bounds the pipeline compute per request (0 = no
+	// limit). Requests that exceed it get a 503 with the progress the
+	// estimator made before the deadline.
+	ComputeTimeout time.Duration
 }
 
 // Server is the HTTP facade over the Apollo pipeline.
@@ -102,18 +109,27 @@ type RankedAssertion struct {
 
 // Response is the /v1/factfind result.
 type Response struct {
-	Algorithm  string            `json:"algorithm"`
-	Sources    int               `json:"sources"`
-	Assertions int               `json:"assertions"`
-	Claims     int               `json:"claims"`
-	Dependent  int               `json:"dependentClaims"`
-	Converged  bool              `json:"converged"`
-	Iterations int               `json:"iterations"`
-	Ranked     []RankedAssertion `json:"ranked"`
+	Algorithm  string `json:"algorithm"`
+	Sources    int    `json:"sources"`
+	Assertions int    `json:"assertions"`
+	Claims     int    `json:"claims"`
+	Dependent  int    `json:"dependentClaims"`
+	Converged  bool   `json:"converged"`
+	Iterations int    `json:"iterations"`
+	// Stopped is the run's stop reason: "converged", "iteration-cap",
+	// "cancelled", or "deadline".
+	Stopped string            `json:"stopped,omitempty"`
+	Ranked  []RankedAssertion `json:"ranked"`
 }
 
 type apiError struct {
 	Error string `json:"error"`
+	// Stopped distinguishes compute-budget failures ("deadline",
+	// "cancelled") from estimator failures (empty).
+	Stopped string `json:"stopped,omitempty"`
+	// Iterations reports the progress made before a compute-budget
+	// failure.
+	Iterations int `json:"iterations,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -161,8 +177,27 @@ func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
 	if topK <= 0 {
 		topK = s.opts.DefaultTopK
 	}
-	out, err := apollo.Run(in, finder, apollo.Options{TopK: topK})
+	ctx := r.Context()
+	if s.opts.ComputeTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.ComputeTimeout)
+		defer cancel()
+	}
+	out, err := apollo.RunContext(ctx, in, finder, apollo.Options{TopK: topK})
 	if err != nil {
+		if reason := runctx.Reason(err); reason != "" {
+			// Compute budget exhausted (or client gone) — report the
+			// partial progress, distinguished from estimator failure.
+			e := apiError{
+				Error:   fmt.Sprintf("compute budget exhausted (%s): %v", reason, err),
+				Stopped: reason,
+			}
+			if out != nil && out.Result != nil {
+				e.Iterations = out.Result.Iterations
+			}
+			writeJSON(w, http.StatusServiceUnavailable, e)
+			return
+		}
 		status := http.StatusBadRequest
 		if !errors.Is(err, apollo.ErrNoMessages) && !errors.Is(err, apollo.ErrGraphSize) {
 			status = http.StatusInternalServerError
@@ -179,6 +214,7 @@ func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
 		Dependent:  out.Dataset.NumDependentClaims(),
 		Converged:  out.Result.Converged,
 		Iterations: out.Result.Iterations,
+		Stopped:    out.Result.Stopped,
 	}
 	for _, c := range out.Ranked {
 		dep := 0

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func newTestServer() *httptest.Server {
@@ -193,5 +194,29 @@ func TestBodyLimit(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("oversize status %d", resp.StatusCode)
+	}
+}
+
+func TestFactFindComputeDeadline(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Seed: 1, ComputeTimeout: time.Nanosecond}))
+	defer ts.Close()
+	req := sampleRequest()
+	req.Algorithm = "EM-Ext"
+	resp, body := postJSON(t, ts.URL, req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error   string `json:"error"`
+		Stopped string `json:"stopped"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stopped != "deadline" {
+		t.Fatalf("stopped = %q (%s)", e.Stopped, body)
+	}
+	if e.Error == "" {
+		t.Fatalf("empty error message: %s", body)
 	}
 }

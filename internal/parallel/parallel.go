@@ -5,6 +5,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -16,6 +17,16 @@ import (
 // be safe to call concurrently; writing to disjoint result slots is the
 // intended aggregation pattern.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach under a context: once ctx is cancelled no further
+// items are dispatched, though in-flight items run to completion. The
+// lowest-indexed item error still wins when both an item failed and the
+// context was cancelled; with no item failures the context's error is
+// returned. fn does not receive ctx — callers that want per-item
+// cancellation close over it.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -27,6 +38,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return fmt.Errorf("parallel: item %d: %w", i, err)
 			}
@@ -34,6 +48,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		return nil
 	}
 
+	// One mutex guards both the dispatch cursor and the first-failure
+	// record, so "stop dispatching after a failure" and "report the
+	// lowest-indexed failure" cannot race with each other.
 	var (
 		mu       sync.Mutex
 		firstIdx = -1
@@ -51,15 +68,10 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	takeNext := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if next >= n || firstIdx >= 0 {
-			// Stop dispatching after the first failure; in-flight items
-			// still run to completion.
-			if next >= n {
-				return 0, false
-			}
-			if firstIdx >= 0 {
-				return 0, false
-			}
+		// Stop dispatching after the first failure or cancellation;
+		// in-flight items still run to completion.
+		if next >= n || firstIdx >= 0 || ctx.Err() != nil {
+			return 0, false
 		}
 		i := next
 		next++
@@ -84,6 +96,11 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	wg.Wait()
 	if firstErr != nil {
 		return fmt.Errorf("parallel: item %d: %w", firstIdx, firstErr)
+	}
+	if next < n {
+		// Dispatch stopped early without an item failure: the context
+		// was cancelled.
+		return ctx.Err()
 	}
 	return nil
 }

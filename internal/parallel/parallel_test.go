@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync/atomic"
@@ -58,6 +59,83 @@ func TestForEachStopsDispatchingAfterFailure(t *testing.T) {
 	})
 	if got := atomic.LoadInt32(&ran); got > 5000 {
 		t.Fatalf("dispatch did not stop early: %d items ran", got)
+	}
+}
+
+func TestForEachCtxStopsDispatchingOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int32
+		err := ForEachCtx(ctx, 10000, workers, func(i int) error {
+			if atomic.AddInt32(&ran, 1) == 10 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		// In-flight items finish and a few dispatches can race the
+		// cancellation, but the vast majority of items must never run.
+		if got := atomic.LoadInt32(&ran); got > 5000 {
+			t.Fatalf("workers=%d: dispatch did not stop: %d items ran", workers, got)
+		}
+		cancel()
+	}
+}
+
+func TestForEachCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := ForEachCtx(ctx, 100, 4, func(int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := atomic.LoadInt32(&ran); got != 0 {
+		t.Fatalf("%d items ran under a pre-cancelled context", got)
+	}
+}
+
+func TestForEachCtxItemErrorBeatsCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEachCtx(ctx, 100, 4, func(i int) error {
+		if i == 3 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the item error to win", err)
+	}
+	if !strings.Contains(err.Error(), "item 3") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForEachCtxClampsWorkers(t *testing.T) {
+	// workers > n must clamp to n, and workers <= 0 must select a positive
+	// default; both still run every item exactly once.
+	for _, workers := range []int{-1, 0, 3, 1000} {
+		var hits [3]int32
+		err := ForEachCtx(context.Background(), 3, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, h)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,94 @@
+package runctx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestHookEmitNilSafe(t *testing.T) {
+	var h Hook
+	h.Emit(Iteration{N: 1}) // must not panic
+}
+
+func TestWithHookComposes(t *testing.T) {
+	var order []string
+	ctx := WithHook(context.Background(), func(it Iteration) {
+		order = append(order, fmt.Sprintf("first:%d", it.N))
+	})
+	ctx = WithHook(ctx, func(it Iteration) {
+		order = append(order, fmt.Sprintf("second:%d", it.N))
+	})
+	HookFrom(ctx).Emit(Iteration{N: 7})
+	if len(order) != 2 || order[0] != "first:7" || order[1] != "second:7" {
+		t.Fatalf("hooks did not compose in order: %v", order)
+	}
+}
+
+func TestWithHookNilIsNoop(t *testing.T) {
+	ctx := context.Background()
+	if got := WithHook(ctx, nil); got != ctx {
+		t.Fatal("WithHook(nil) should return the context unchanged")
+	}
+	if HookFrom(ctx) != nil {
+		t.Fatal("background context should carry no hook")
+	}
+	if HookFrom(nil) != nil { //nolint:staticcheck // nil tolerance is the contract
+		t.Fatal("nil context should carry no hook")
+	}
+}
+
+func TestRNGRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ctx := WithRNG(context.Background(), rng)
+	if got := RNGFrom(ctx); got != rng {
+		t.Fatal("RNG did not round-trip")
+	}
+	if RNGFrom(context.Background()) != nil {
+		t.Fatal("background context should carry no RNG")
+	}
+	if got := WithRNG(ctx, nil); got != ctx {
+		t.Fatal("WithRNG(nil) should return the context unchanged")
+	}
+}
+
+func TestErrNilTolerant(t *testing.T) {
+	if err := Err(nil); err != nil { //nolint:staticcheck // nil tolerance is the contract
+		t.Fatalf("Err(nil) = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := Err(ctx); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	cancel()
+	if !errors.Is(Err(ctx), context.Canceled) {
+		t.Fatal("cancelled context not reported")
+	}
+}
+
+func TestReason(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{errors.New("estimator blew up"), ""},
+		{context.Canceled, StopCancelled},
+		{context.DeadlineExceeded, StopDeadline},
+		{fmt.Errorf("wrapped: %w", context.Canceled), StopCancelled},
+		{fmt.Errorf("wrapped: %w", context.DeadlineExceeded), StopDeadline},
+	}
+	for _, c := range cases {
+		if got := Reason(c.err); got != c.want {
+			t.Errorf("Reason(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestStopOf(t *testing.T) {
+	if StopOf(true) != StopConverged || StopOf(false) != StopIterationCap {
+		t.Fatal("StopOf mapping wrong")
+	}
+}

@@ -11,6 +11,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -79,6 +80,15 @@ func (e *Estimator) ObserveFollow(follower, followee int) error {
 
 // AddBatch ingests a batch of claims and refits the estimator.
 func (e *Estimator) AddBatch(batch []depgraph.Event) (*factfind.Result, error) {
+	return e.AddBatchContext(context.Background(), batch)
+}
+
+// AddBatchContext ingests a batch of claims and refits the estimator under
+// ctx. Cancelling mid-refit keeps the estimator's previous state: the batch
+// is still ingested (the events are recorded and the id spaces grown), but
+// the warm-start parameters and latest estimate stay those of the last
+// completed fit, so the next AddBatch refits over all accumulated events.
+func (e *Estimator) AddBatchContext(ctx context.Context, batch []depgraph.Event) (*factfind.Result, error) {
 	for _, ev := range batch {
 		if ev.Source < 0 || ev.Assertion < 0 {
 			return nil, fmt.Errorf("%w: %+v", ErrBadEvent, ev)
@@ -103,9 +113,11 @@ func (e *Estimator) AddBatch(batch []depgraph.Event) (*factfind.Result, error) {
 		opts.MaxIters = e.opts.WarmMaxIters
 		opts.Tol = e.opts.WarmTol
 	}
-	res, err := core.Run(ds, core.VariantExt, opts)
+	res, err := core.RunCtx(ctx, ds, core.VariantExt, opts)
 	if err != nil {
-		return nil, err
+		// On cancellation res carries the partial fit; surface it to the
+		// caller but do not install it as the warm-start state.
+		return res, err
 	}
 	e.params = res.Params.Clone()
 	e.last = res
