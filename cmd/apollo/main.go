@@ -22,6 +22,7 @@ import (
 
 	"depsense/internal/apollo"
 	"depsense/internal/baselines"
+	"depsense/internal/core"
 	"depsense/internal/depgraph"
 	"depsense/internal/factfind"
 	"depsense/internal/grader"
@@ -50,12 +51,13 @@ type tweetFile struct {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("apollo", flag.ContinueOnError)
 	var (
-		input  = fs.String("in", "", "input file (required)")
-		format = fs.String("format", "sim", "input format: sim (ssgen tweet stream) or twitter-json (Twitter API v1.1 archive)")
-		alg    = fs.String("alg", "EM-Ext", "fact-finder: "+strings.Join(algNames(), ", "))
-		topK   = fs.Int("topk", 20, "ranked assertions to print")
-		report = fs.String("report", "", "also write an HTML report to this file")
-		seed   = fs.Int64("seed", 1, "random seed")
+		input   = fs.String("in", "", "input file (required)")
+		format  = fs.String("format", "sim", "input format: sim (ssgen tweet stream) or twitter-json (Twitter API v1.1 archive)")
+		alg     = fs.String("alg", "EM-Ext", "fact-finder: "+strings.Join(algNames(), ", "))
+		topK    = fs.Int("topk", 20, "ranked assertions to print")
+		report  = fs.String("report", "", "also write an HTML report to this file")
+		seed    = fs.Int64("seed", 1, "random seed")
+		workers = fs.Int("workers", 1, "estimator parallelism (EM block sharding and restart fan-out); results are identical at any value, 0 = GOMAXPROCS")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,7 +65,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *input == "" {
 		return fmt.Errorf("-in is required")
 	}
-	finder := pickAlg(*alg, *seed)
+	finder := pickAlg(*alg, core.Options{Seed: *seed, Workers: *workers})
 	if finder == nil {
 		return fmt.Errorf("unknown algorithm %q; known: %s", *alg, strings.Join(algNames(), ", "))
 	}
@@ -169,8 +171,8 @@ func algNames() []string {
 	return names
 }
 
-func pickAlg(name string, seed int64) factfind.FactFinder {
-	for _, a := range baselines.All(seed) {
+func pickAlg(name string, opts core.Options) factfind.FactFinder {
+	for _, a := range baselines.AllOpts(opts) {
 		if strings.EqualFold(a.Name(), name) {
 			return a
 		}

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	experiments [-exp all|table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table3|fig11|extdepth]
-//	            [-quick] [-seed N] [-runs N] [-estruns N] [-scale N] [-csv dir]
+//	            [-quick] [-seed N] [-runs N] [-estruns N] [-scale N] [-workers N] [-csv dir]
+//
+// The special experiment id "benchpar" (never part of "all") measures the
+// wall-clock scaling of the parallel hot paths across worker counts and
+// writes the machine-readable trajectory to -benchout.
 package main
 
 import (
@@ -37,14 +41,16 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment id: all, table1, fig3..fig11, table3, extdepth, extsybil")
-		quick   = fs.Bool("quick", false, "reduced-scale smoke run")
-		seed    = fs.Int64("seed", 1, "base random seed")
-		runs    = fs.Int("runs", 0, "override bound-experiment repetitions (paper: 20)")
-		estRuns = fs.Int("estruns", 0, "override estimator repetitions (paper: 300)")
-		scale   = fs.Int("scale", 0, "override empirical volume divisor (1 = Table III scale)")
-		csvDir  = fs.String("csv", "", "also write each experiment's series as CSV into this directory")
-		svgDir  = fs.String("svg", "", "also render each figure as SVG into this directory")
+		exp      = fs.String("exp", "all", "experiment id: all, table1, fig3..fig11, table3, extdepth, extsybil")
+		quick    = fs.Bool("quick", false, "reduced-scale smoke run")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		runs     = fs.Int("runs", 0, "override bound-experiment repetitions (paper: 20)")
+		estRuns  = fs.Int("estruns", 0, "override estimator repetitions (paper: 300)")
+		scale    = fs.Int("scale", 0, "override empirical volume divisor (1 = Table III scale)")
+		workers  = fs.Int("workers", 0, "parallelism across repetitions and inside the bound/EM hot paths (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
+		csvDir   = fs.String("csv", "", "also write each experiment's series as CSV into this directory")
+		svgDir   = fs.String("svg", "", "also render each figure as SVG into this directory")
+		benchOut = fs.String("benchout", "BENCH_parallel.json", "benchpar: write the speedup trajectory JSON to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +71,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *scale > 0 {
 		cfg.EmpiricalScale = *scale
 	}
+	cfg.Workers = *workers
 
 	for _, dir := range []string{*csvDir, *svgDir} {
 		if dir != "" {
@@ -99,6 +106,43 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			}
 		}
 		return false
+	}
+	// benchpar is opt-in only: it is a machine benchmark, not a paper
+	// experiment, so "all" never selects it.
+	wantBench := false
+	for _, s := range selected {
+		if s == "benchpar" {
+			wantBench = true
+		}
+	}
+	if wantBench {
+		o := eval.BenchParallelOptions{}
+		if *quick {
+			o = eval.BenchParallelOptions{
+				EMSources: 60, EMAssertions: 200, ExactN: 16, Sweeps: 1500, Reps: 1,
+			}
+		}
+		start := time.Now()
+		fmt.Fprintln(out, "==== benchpar ====")
+		rep, err := eval.BenchParallel(cfg, o)
+		if err != nil {
+			return fmt.Errorf("benchpar: %w", err)
+		}
+		if err := rep.Render(out); err != nil {
+			return err
+		}
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n(benchpar took %s)\n\n", *benchOut, time.Since(start).Round(time.Millisecond))
 	}
 
 	section := func(id string, fn func() error) error {

@@ -38,6 +38,7 @@ func run(args []string) error {
 		maxBody    = fs.Int64("maxbody", 32<<20, "maximum request body bytes")
 		seed       = fs.Int64("seed", 1, "estimator seed")
 		computeTmo = fs.Duration("compute-timeout", 0, "per-request compute budget (0 = unlimited); exceeding it returns 503 with partial progress")
+		workers    = fs.Int("workers", 1, "per-request estimator parallelism; results are identical at any value, 0 = GOMAXPROCS")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +49,7 @@ func run(args []string) error {
 		DefaultTopK:    *topK,
 		Seed:           *seed,
 		ComputeTimeout: *computeTmo,
+		Workers:        *workers,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

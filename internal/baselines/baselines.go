@@ -62,7 +62,14 @@ func (e *EMSocial) RunContext(ctx context.Context, ds *claims.Dataset) (*factfin
 // (Fig. 11), in the paper's order: EM-Ext first, then the baselines. Every
 // algorithm is seeded from the same value for reproducibility.
 func All(seed int64) []factfind.FactFinder {
-	opts := core.Options{Seed: seed}
+	return AllOpts(core.Options{Seed: seed})
+}
+
+// AllOpts is All with full control over the shared EM options — callers use
+// it to thread Workers (and any other execution tuning) into every
+// model-based algorithm in the lineup. The heuristic fact-finders take no
+// options.
+func AllOpts(opts core.Options) []factfind.FactFinder {
 	return []factfind.FactFinder{
 		&core.EMExt{Opts: opts},
 		&EMSocial{Opts: opts},
@@ -78,5 +85,10 @@ func All(seed int64) []factfind.FactFinder {
 // implemented beyond the paper's lineup (Investment, PooledInvestment),
 // useful for broader comparisons.
 func Extended(seed int64) []factfind.FactFinder {
-	return append(All(seed), &Investment{}, &PooledInvestment{})
+	return ExtendedOpts(core.Options{Seed: seed})
+}
+
+// ExtendedOpts is Extended with full control over the shared EM options.
+func ExtendedOpts(opts core.Options) []factfind.FactFinder {
+	return append(AllOpts(opts), &Investment{}, &PooledInvestment{})
 }

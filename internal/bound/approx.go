@@ -8,22 +8,36 @@ import (
 	"time"
 
 	"depsense/internal/gibbs"
+	"depsense/internal/parallel"
 	"depsense/internal/randutil"
 	"depsense/internal/runctx"
 )
 
 // ApproxOptions tunes the Gibbs-sampling bound approximation (Algorithm 1).
 type ApproxOptions struct {
-	// BurnIn sweeps are discarded before accumulation starts.
+	// BurnIn sweeps are discarded before accumulation starts (per chain).
 	BurnIn int
-	// MaxSweeps caps the chain length (post burn-in).
+	// MaxSweeps caps the total chain length (post burn-in), summed across
+	// chains when Chains > 1.
 	MaxSweeps int
 	// CheckEvery sets the convergence-check interval in sweeps.
 	CheckEvery int
 	// Tol declares convergence when the running estimate moves less than
 	// Tol between consecutive checks ("while Err not convergent" in the
-	// paper's pseudocode).
+	// paper's pseudocode").
 	Tol float64
+	// Chains is the number of independent Gibbs chains the sweep budget is
+	// split across. 0 or 1 runs the historical single-chain estimator on
+	// the caller's generator, bit for bit. With K > 1 chains, K child seeds
+	// are drawn from the caller's generator up front, each chain burns in
+	// and converges independently, and the chain tallies merge in chain
+	// index order — so the estimate is a deterministic function of the seed
+	// and Chains, never of Workers or scheduling.
+	Chains int
+	// Workers bounds how many chains run concurrently. 0 or 1 runs the
+	// chains serially; values above Chains are clamped. Workers changes
+	// wall-clock only, never the Result.
+	Workers int
 }
 
 // DefaultApproxOptions matches the accuracy demonstrated in Figs. 3-5
@@ -51,7 +65,43 @@ func (o ApproxOptions) normalized() ApproxOptions {
 	if o.Tol <= 0 {
 		o.Tol = d.Tol
 	}
+	if o.Chains <= 0 {
+		o.Chains = 1
+	}
 	return o
+}
+
+// approxTally is the raw Monte Carlo accumulator of one Gibbs chain. Tallies
+// from independent chains merge by plain addition in chain index order.
+type approxTally struct {
+	sumErr, sumSq float64
+	sumFP, sumFN  float64
+	samples       int
+}
+
+func (t *approxTally) add(o approxTally) {
+	t.sumErr += o.sumErr
+	t.sumSq += o.sumSq
+	t.sumFP += o.sumFP
+	t.sumFN += o.sumFN
+	t.samples += o.samples
+}
+
+func (t approxTally) result() Result {
+	fs := float64(t.samples)
+	res := Result{
+		Err:      t.sumErr / fs,
+		FalsePos: t.sumFP / fs,
+		FalseNeg: t.sumFN / fs,
+		Sweeps:   t.samples,
+	}
+	variance := t.sumSq/fs - res.Err*res.Err
+	if variance > 0 {
+		// Gibbs samples are autocorrelated; this plain-iid standard error
+		// understates uncertainty but is still a useful scale indicator.
+		res.StdErr = math.Sqrt(variance / fs)
+	}
+	return res
 }
 
 // Approx estimates the error bound by Gibbs sampling claim patterns from
@@ -73,8 +123,15 @@ func Approx(c Column, opts ApproxOptions, rng *rand.Rand) (Result, error) {
 // on cancellation the partial Monte Carlo averages over the samples drawn so
 // far are returned together with the context's error. Any runctx hook on
 // ctx fires at every convergence checkpoint (every CheckEvery sweeps) with
-// the cumulative sample count. A nil rng falls back to the context's
-// generator (runctx.WithRNG), then to a fixed seed.
+// the cumulative per-chain sample count. A nil rng falls back to the
+// context's generator (runctx.WithRNG), then to a fixed seed.
+//
+// With opts.Chains > 1 the sweep budget splits over that many independent
+// chains (seeded deterministically from rng) whose tallies merge in chain
+// index order; opts.Workers bounds how many run concurrently. On
+// cancellation the merged partial tallies over every chain's completed
+// sweeps are returned — each chain stops at a sweep boundary, so the partial
+// state is valid, though which sweep each chain reached depends on timing.
 func ApproxContext(ctx context.Context, c Column, opts ApproxOptions, rng *rand.Rand) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
@@ -86,6 +143,57 @@ func ApproxContext(ctx context.Context, c Column, opts ApproxOptions, rng *rand.
 		}
 	}
 
+	if opts.Chains == 1 {
+		t, err := runApproxChain(ctx, c, opts, rng, opts.MaxSweeps)
+		if t.samples == 0 {
+			return Result{}, err
+		}
+		return t.result(), err
+	}
+
+	// Multi-chain: derive every chain seed up front, in order, so the
+	// decomposition is a pure function of the caller's generator state.
+	seeds := randutil.DeriveSeeds(rng, opts.Chains)
+	per, rem := opts.MaxSweeps/opts.Chains, opts.MaxSweeps%opts.Chains
+	sctx := runctx.WithSerializedHook(ctx)
+	type slot struct {
+		t   approxTally
+		err error
+	}
+	slots := make([]slot, opts.Chains)
+	poolErr := parallel.ForEachCtx(ctx, opts.Chains, opts.Workers, func(k int) error {
+		sweeps := per
+		if k < rem {
+			sweeps++
+		}
+		slots[k].t, slots[k].err = runApproxChain(sctx, c, opts, randutil.New(seeds[k]), sweeps)
+		return nil
+	})
+
+	var (
+		merged   approxTally
+		firstErr error
+	)
+	for k := range slots {
+		merged.add(slots[k].t)
+		if firstErr == nil {
+			firstErr = slots[k].err
+		}
+	}
+	if firstErr == nil {
+		firstErr = poolErr
+	}
+	if merged.samples == 0 {
+		return Result{}, firstErr
+	}
+	return merged.result(), firstErr
+}
+
+// runApproxChain runs one Gibbs chain for up to maxSweeps accumulation
+// sweeps and returns its raw tallies. The returned error is a chain-build
+// failure or the context's cancellation error; on cancellation the tallies
+// over the sweeps completed so far are still returned.
+func runApproxChain(ctx context.Context, c Column, opts ApproxOptions, rng *rand.Rand, maxSweeps int) (approxTally, error) {
 	n := c.N()
 	pOn := [][]float64{make([]float64, n), make([]float64, n)}
 	for i := 0; i < n; i++ {
@@ -95,25 +203,22 @@ func ApproxContext(ctx context.Context, c Column, opts ApproxOptions, rng *rand.
 	z := clampOpen(c.Z)
 	chain, err := gibbs.NewProductMixtureChain([]float64{z, 1 - z}, pOn, rng)
 	if err != nil {
-		return Result{}, fmt.Errorf("bound: build chain: %w", err)
+		return approxTally{}, fmt.Errorf("bound: build chain: %w", err)
 	}
 
 	hook := runctx.HookFrom(ctx)
 	start := time.Now()
 	if _, err := chain.SweepN(ctx, opts.BurnIn); err != nil {
-		return Result{}, err
+		return approxTally{}, err
 	}
 
 	var (
-		sumErr, sumSq float64
-		sumFP, sumFN  float64
-		samples       int
-		checkpoints   int
-		lastEstimate  = math.Inf(1)
-		res           Result
-		stop          error
+		t            approxTally
+		checkpoints  int
+		lastEstimate = math.Inf(1)
+		stop         error
 	)
-	for s := 0; s < opts.MaxSweeps; s++ {
+	for s := 0; s < maxSweeps; s++ {
 		if stop = runctx.Err(ctx); stop != nil {
 			break
 		}
@@ -131,21 +236,21 @@ func ApproxContext(ctx context.Context, c Column, opts ApproxOptions, rng *rand.
 		} else {
 			r = 1 / (1 + math.Exp(-diff))
 		}
-		sumErr += r
-		sumSq += r * r
+		t.sumErr += r
+		t.sumSq += r * r
 		if isFP {
-			sumFP += r
+			t.sumFP += r
 		} else {
-			sumFN += r
+			t.sumFN += r
 		}
-		samples++
+		t.samples++
 
-		if samples%opts.CheckEvery == 0 {
-			est := sumErr / float64(samples)
+		if t.samples%opts.CheckEvery == 0 {
+			est := t.sumErr / float64(t.samples)
 			checkpoints++
 			converged := math.Abs(est-lastEstimate) < opts.Tol
 			it := runctx.Iteration{
-				Algorithm: "gibbs-bound", N: checkpoints, Samples: samples,
+				Algorithm: "gibbs-bound", N: checkpoints, Samples: t.samples,
 				Elapsed: time.Since(start), Done: converged,
 			}
 			if converged {
@@ -160,28 +265,11 @@ func ApproxContext(ctx context.Context, c Column, opts ApproxOptions, rng *rand.
 	}
 	if stop != nil {
 		hook.Emit(runctx.Iteration{
-			Algorithm: "gibbs-bound", N: checkpoints + 1, Samples: samples,
+			Algorithm: "gibbs-bound", N: checkpoints + 1, Samples: t.samples,
 			Elapsed: time.Since(start), Done: true, Stopped: runctx.Reason(stop),
 		})
-		if samples == 0 {
-			return Result{}, stop
-		}
 	}
-
-	fs := float64(samples)
-	res.Err = sumErr / fs
-	res.FalsePos = sumFP / fs
-	res.FalseNeg = sumFN / fs
-	res.Sweeps = samples
-	variance := sumSq/fs - res.Err*res.Err
-	if variance > 0 {
-		// Gibbs samples are autocorrelated; this plain-iid standard error
-		// understates uncertainty but is still a useful scale indicator.
-		res.StdErr = math.Sqrt(variance / fs)
-	}
-	// stop is non-nil when cancellation cut the chain short: the partial
-	// averages are still returned alongside the context error.
-	return res, stop
+	return t, stop
 }
 
 // clampOpen forces p strictly inside (0,1) as the mixture chain requires.

@@ -15,9 +15,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"depsense/internal/model"
+	"depsense/internal/parallel"
 	"depsense/internal/runctx"
 )
 
@@ -126,11 +128,28 @@ type Result struct {
 	Sweeps   int
 }
 
-// ExactBlockPatterns is the cancellation granularity of the exact
-// enumeration: the context is checked (and any runctx hook fired) once per
-// this many enumerated patterns, so a cancel returns within one block —
-// microseconds of work — regardless of n.
-const ExactBlockPatterns = 1 << 15
+// exactBlockBits is the suffix width of one enumeration block: blocks hold
+// 2^exactBlockBits patterns each.
+const exactBlockBits = 15
+
+// ExactBlockPatterns is the block granularity of the exact enumeration: the
+// 2^n pattern space splits into fixed blocks of this many patterns (the
+// first n-15 bits index the block, the last 15 enumerate within it). The
+// context is checked — and any runctx hook fired — once per block, so a
+// cancel returns within one block of work regardless of n, and the blocks
+// are the unit the parallel path fans out.
+const ExactBlockPatterns = 1 << exactBlockBits
+
+// ExactOptions tunes the execution of the exact enumeration. It changes how
+// the fixed block decomposition is scheduled, never what it computes: the
+// block partial sums are reduced in block index order, so the Result is
+// bit-for-bit identical for every Workers value.
+type ExactOptions struct {
+	// Workers bounds the number of enumeration blocks computed
+	// concurrently. 0 or 1 runs serial (the default, preserving the
+	// one-block cancellation latency contract exactly).
+	Workers int
+}
 
 // Exact enumerates all 2^n claim patterns (Eq. 3). The enumeration shares
 // prefix products through recursion, so total work is O(2^n) rather than
@@ -146,6 +165,18 @@ func Exact(c Column) (Result, error) {
 // error — the partial Result is a deterministic function of the enumeration
 // prefix completed.
 func ExactContext(ctx context.Context, c Column) (Result, error) {
+	return ExactOpts(ctx, c, ExactOptions{})
+}
+
+// ExactOpts is ExactContext with execution options. With Workers > 1 the
+// enumeration blocks fan out over a bounded worker pool; each block sums
+// its own false-positive/false-negative partials and the partials are
+// reduced in block index order, so the Result matches the serial run bit
+// for bit. On cancellation the sums over the longest contiguous prefix of
+// completed blocks are returned with the context's error — a valid partial
+// state at a block checkpoint. Hooks fire once per completed block, under a
+// lock, with the cumulative count of completed blocks.
+func ExactOpts(ctx context.Context, c Column, opts ExactOptions) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -156,51 +187,98 @@ func ExactContext(ctx context.Context, c Column) (Result, error) {
 	if err := runctx.Err(ctx); err != nil {
 		return Result{}, err
 	}
-	var (
-		res      Result
-		patterns int
-		stop     error
-		hook     = runctx.HookFrom(ctx)
-		start    = time.Now()
-		blocks   int
-	)
-	var rec func(i int, w1, w0 float64)
-	rec = func(i int, w1, w0 float64) {
-		if stop != nil {
-			return
-		}
-		if i == n {
-			// The optimal estimator picks the larger joint mass; the loser
-			// is the conditional error contribution. Ties break toward
-			// "true", matching the practical estimator's decision rule.
-			if w1 >= w0 {
-				res.FalsePos += w0
-			} else {
-				res.FalseNeg += w1
-			}
-			patterns++
-			if patterns%ExactBlockPatterns == 0 {
-				blocks++
-				stop = runctx.Err(ctx)
-				it := runctx.Iteration{
-					Algorithm: "exact-bound", N: blocks, Samples: patterns,
-					Elapsed: time.Since(start),
-				}
-				if stop != nil {
-					it.Done = true
-					it.Stopped = runctx.Reason(stop)
-				}
-				hook.Emit(it)
-			}
-			return
-		}
-		rec(i+1, w1*c.P1[i], w0*c.P0[i])
-		rec(i+1, w1*(1-c.P1[i]), w0*(1-c.P0[i]))
+
+	suffixBits := n
+	if suffixBits > exactBlockBits {
+		suffixBits = exactBlockBits
 	}
-	rec(0, c.Z, 1-c.Z)
+	prefixBits := n - suffixBits
+	numBlocks := 1 << prefixBits
+
+	var (
+		fpPart = make([]float64, numBlocks)
+		fnPart = make([]float64, numBlocks)
+		done   = make([]bool, numBlocks)
+
+		mu         sync.Mutex
+		blocksDone int
+		hook       = runctx.HookFrom(ctx)
+		start      = time.Now()
+	)
+	poolErr := parallel.ForEachCtx(ctx, numBlocks, opts.Workers, func(b int) error {
+		// The block's prefix pattern: bit i of the pattern is ON when the
+		// corresponding bit of b is zero, so block 0 starts at the all-on
+		// pattern — the same global enumeration order as the on-first
+		// recursion below.
+		w1, w0 := c.Z, 1-c.Z
+		for i := 0; i < prefixBits; i++ {
+			if (b>>(prefixBits-1-i))&1 == 0 {
+				w1 *= c.P1[i]
+				w0 *= c.P0[i]
+			} else {
+				w1 *= 1 - c.P1[i]
+				w0 *= 1 - c.P0[i]
+			}
+		}
+		var fp, fn float64
+		var rec func(i int, w1, w0 float64)
+		rec = func(i int, w1, w0 float64) {
+			if i == n {
+				// The optimal estimator picks the larger joint mass; the
+				// loser is the conditional error contribution. Ties break
+				// toward "true", matching the practical estimator's
+				// decision rule.
+				if w1 >= w0 {
+					fp += w0
+				} else {
+					fn += w1
+				}
+				return
+			}
+			rec(i+1, w1*c.P1[i], w0*c.P0[i])
+			rec(i+1, w1*(1-c.P1[i]), w0*(1-c.P0[i]))
+		}
+		rec(prefixBits, w1, w0)
+		fpPart[b], fnPart[b] = fp, fn
+		done[b] = true
+		if suffixBits == exactBlockBits {
+			// Full-size blocks report progress; a single sub-block run
+			// (n < 15) finishes in microseconds and stays silent, matching
+			// the historical per-2^15-patterns cadence.
+			mu.Lock()
+			blocksDone++
+			hook.Emit(runctx.Iteration{
+				Algorithm: "exact-bound", N: blocksDone,
+				Samples: blocksDone * ExactBlockPatterns,
+				Elapsed: time.Since(start),
+			})
+			mu.Unlock()
+		}
+		return nil
+	})
+
+	limit := numBlocks
+	if poolErr != nil {
+		// Longest contiguous prefix of completed blocks: the deterministic
+		// "how far the enumeration got" state a serial run would also report.
+		limit = 0
+		for limit < numBlocks && done[limit] {
+			limit++
+		}
+	}
+	var res Result
+	for b := 0; b < limit; b++ {
+		res.FalsePos += fpPart[b]
+		res.FalseNeg += fnPart[b]
+	}
 	res.Err = res.FalsePos + res.FalseNeg
-	if stop != nil {
-		return res, stop
+	if poolErr != nil {
+		hook.Emit(runctx.Iteration{
+			Algorithm: "exact-bound", N: limit,
+			Samples: limit * (1 << suffixBits), Elapsed: time.Since(start),
+			Done: true, Stopped: runctx.Reason(poolErr),
+		})
+		return res, poolErr
 	}
 	return res, nil
 }

@@ -1,0 +1,46 @@
+package bound
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"depsense/internal/randutil"
+)
+
+// BenchmarkExactWorkers measures the blocked 2^n enumeration across worker
+// counts at the acceptance scale n = 20 (32 blocks of 2^15 patterns).
+func BenchmarkExactWorkers(b *testing.B) {
+	col := heterogeneousColumn(20)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ExactOpts(context.Background(), col, ExactOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkApproxChains measures the multi-chain Gibbs estimator: a fixed
+// total sweep budget split across chains, with chains running on up to
+// `workers` goroutines.
+func BenchmarkApproxChains(b *testing.B) {
+	col := heterogeneousColumn(20)
+	const sweeps = 8000
+	for _, c := range []struct{ chains, workers int }{
+		{1, 1}, {4, 1}, {4, 4}, {8, 8},
+	} {
+		b.Run(fmt.Sprintf("chains=%d_workers=%d", c.chains, c.workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := ApproxContext(context.Background(), col, ApproxOptions{
+					MaxSweeps: sweeps, Chains: c.chains, Workers: c.workers,
+				}, randutil.New(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

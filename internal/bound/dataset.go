@@ -37,6 +37,13 @@ type DatasetOptions struct {
 	// when exceeded, columns are sampled and the result reweighted by column
 	// frequency. Zero means no cap.
 	MaxColumns int
+	// Workers bounds the intra-column parallelism: exact enumeration blocks
+	// (MethodExact) or concurrent Gibbs chains (MethodApprox, when
+	// Approx.Chains > 1) fan out over this many goroutines. Columns
+	// themselves are evaluated serially so the frequency-weighted reduction
+	// order — and therefore the Result — never depends on Workers. 0 or 1
+	// runs fully serial.
+	Workers int
 }
 
 // ForDataset computes the expected error bound of a dataset: the frequency-
@@ -104,9 +111,13 @@ func ForDatasetContext(ctx context.Context, ds *claims.Dataset, p *model.Params,
 		var r Result
 		switch opts.Method {
 		case MethodExact:
-			r, err = ExactContext(ctx, col)
+			r, err = ExactOpts(ctx, col, ExactOptions{Workers: opts.Workers})
 		case MethodApprox:
-			r, err = ApproxContext(ctx, col, opts.Approx, rng)
+			approx := opts.Approx
+			if approx.Workers == 0 {
+				approx.Workers = opts.Workers
+			}
+			r, err = ApproxContext(ctx, col, approx, rng)
 		case MethodConvolution:
 			r, err = Convolution(col, opts.Convolution)
 		default:

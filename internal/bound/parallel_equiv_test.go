@@ -1,0 +1,156 @@
+package bound
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"depsense/internal/randutil"
+	"depsense/internal/runctx"
+)
+
+// heterogeneousColumn builds a column whose per-source probabilities all
+// differ, so any block mis-ordering in the parallel reduction would change
+// the floating-point sums and fail the exact-equality assertions below.
+func heterogeneousColumn(n int) Column {
+	rng := randutil.New(int64(n))
+	c := Column{P1: make([]float64, n), P0: make([]float64, n), Z: 0.37}
+	for i := 0; i < n; i++ {
+		c.P1[i] = randutil.Uniform(rng, 0.5, 0.95)
+		c.P0[i] = randutil.Uniform(rng, 0.05, 0.5)
+	}
+	return c
+}
+
+// TestExactWorkersEquivalence: the blocked enumeration must return the same
+// Result bit for bit at any worker count, above and below the one-block
+// threshold.
+func TestExactWorkersEquivalence(t *testing.T) {
+	for _, n := range []int{8, 15, 18} {
+		col := heterogeneousColumn(n)
+		serial, err := ExactOpts(context.Background(), col, ExactOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("n=%d serial: %v", n, err)
+		}
+		for _, workers := range []int{2, 8} {
+			par, err := ExactOpts(context.Background(), col, ExactOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			if par != serial {
+				t.Fatalf("n=%d workers=%d: %+v != serial %+v", n, workers, par, serial)
+			}
+		}
+	}
+}
+
+// TestExactWorkersCancelValidPartial: cancelling the parallel enumeration
+// must return the sums over a contiguous prefix of completed blocks — a
+// state a serial run could also have reported — with the final hook marking
+// the stop.
+func TestExactWorkersCancelValidPartial(t *testing.T) {
+	const n = 18 // 8 blocks
+	col := heterogeneousColumn(n)
+	full, err := Exact(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var final runctx.Iteration
+	ctx = runctx.WithHook(ctx, func(it runctx.Iteration) {
+		if it.Done {
+			final = it
+		} else if it.N >= 1 {
+			cancel()
+		}
+	})
+	res, err := ExactOpts(ctx, col, ExactOptions{Workers: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if !final.Done || final.Stopped != runctx.StopCancelled {
+		t.Fatalf("final hook iteration = %+v", final)
+	}
+	if final.Samples != final.N*ExactBlockPatterns {
+		t.Fatalf("final Samples = %d inconsistent with %d completed blocks", final.Samples, final.N)
+	}
+	// The partial is a prefix sum: non-negative, no larger than the full
+	// bound, and internally consistent.
+	if res.Err < 0 || res.Err > full.Err {
+		t.Fatalf("partial Err = %v outside [0, %v]", res.Err, full.Err)
+	}
+	if res.Err != res.FalsePos+res.FalseNeg {
+		t.Fatalf("partial decomposition inconsistent: %v != %v + %v", res.Err, res.FalsePos, res.FalseNeg)
+	}
+}
+
+// TestApproxChainsWorkersEquivalence: with a fixed seed and chain count the
+// multi-chain estimate must be bit-for-bit identical at any worker count —
+// chains are seeded up front and merged in chain order.
+func TestApproxChainsWorkersEquivalence(t *testing.T) {
+	col := heterogeneousColumn(10)
+	opts := ApproxOptions{MaxSweeps: 4000, Chains: 4}
+	run := func(workers int) Result {
+		o := opts
+		o.Workers = workers
+		res, err := ApproxContext(context.Background(), col, o, randutil.New(99))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial := run(1)
+	if serial.Sweeps == 0 {
+		t.Fatal("multi-chain run drew no samples")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if par := run(workers); par != serial {
+			t.Fatalf("workers=%d: %+v != serial %+v", workers, par, serial)
+		}
+	}
+}
+
+// TestApproxSingleChainUnchanged: Chains 0/1 must reproduce the historical
+// single-chain estimator on the caller's generator exactly.
+func TestApproxSingleChainUnchanged(t *testing.T) {
+	col := heterogeneousColumn(9)
+	base, err := Approx(col, ApproxOptions{MaxSweeps: 2000}, randutil.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Approx(col, ApproxOptions{MaxSweeps: 2000, Chains: 1, Workers: 8}, randutil.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit != base {
+		t.Fatalf("Chains=1 altered the estimator: %+v != %+v", explicit, base)
+	}
+}
+
+// TestApproxChainsCancelValidPartial: cancelling concurrent chains returns
+// merged partial tallies over every chain's completed sweeps.
+func TestApproxChainsCancelValidPartial(t *testing.T) {
+	col := heterogeneousColumn(8)
+	opts := ApproxOptions{BurnIn: 5, MaxSweeps: 400000, CheckEvery: 50, Tol: 1e-12, Chains: 4, Workers: 4}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx = runctx.WithHook(ctx, func(it runctx.Iteration) {
+		if it.N >= 1 && !it.Done {
+			cancel()
+		}
+	})
+	res, err := ApproxContext(ctx, col, opts, randutil.New(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Sweeps <= 0 {
+		t.Fatalf("cancelled multi-chain run kept no samples (Sweeps = %d)", res.Sweeps)
+	}
+	if res.Sweeps >= opts.MaxSweeps {
+		t.Fatalf("cancel did not shorten the run: %d sweeps", res.Sweeps)
+	}
+	if res.Err <= 0 || res.Err >= 1 {
+		t.Fatalf("partial bound = %v", res.Err)
+	}
+}

@@ -42,11 +42,27 @@ func (d *Dataset) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
-// UnmarshalJSON implements json.Unmarshaler.
+// MaxWireDim caps the source and assertion counts accepted from the wire.
+// The dataset pre-allocates per-source and per-assertion index slices, so an
+// attacker-controlled header like {"sources": 1e18} would otherwise turn a
+// tiny JSON body into an enormous allocation (or, when negative, a panic in
+// Build). In-memory construction via Builder is not capped.
+const MaxWireDim = 1 << 20
+
+// UnmarshalJSON implements json.Unmarshaler. It rejects negative or
+// oversized (> MaxWireDim) dimension headers before building anything, so
+// decoding untrusted input never panics and never allocates more than the
+// input's declared, bounded shape.
 func (d *Dataset) UnmarshalJSON(data []byte) error {
 	var in datasetJSON
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("claims: decode dataset: %w", err)
+	}
+	if in.Sources < 0 || in.Assertions < 0 {
+		return fmt.Errorf("claims: decode dataset: negative dimensions (sources=%d, assertions=%d)", in.Sources, in.Assertions)
+	}
+	if in.Sources > MaxWireDim || in.Assertions > MaxWireDim {
+		return fmt.Errorf("claims: decode dataset: dimensions (sources=%d, assertions=%d) exceed limit %d", in.Sources, in.Assertions, MaxWireDim)
 	}
 	b := NewBuilder(in.Sources, in.Assertions)
 	for _, c := range in.Claims {

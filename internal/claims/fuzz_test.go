@@ -1,0 +1,48 @@
+package claims
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes into the dataset JSON decoder. The
+// properties under test: decoding never panics on any input, and any input
+// that decodes successfully survives an encode→decode round trip with an
+// identical in-memory dataset (the codec normalizes — sorted indexes,
+// dependent-mark folding — so a second trip must be a fixed point).
+func FuzzDecode(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{}`),
+		[]byte(`{"sources":2,"assertions":2,"claims":[{"source":0,"assertion":1}]}`),
+		[]byte(`{"sources":3,"assertions":2,"claims":[{"source":1,"assertion":0,"dependent":true}],"silentDependent":[{"source":2,"assertion":0}]}`),
+		[]byte(`{"sources":-1,"assertions":-1}`),
+		[]byte(`{"sources":9999999999,"assertions":1}`),
+		[]byte(`{"sources":1,"assertions":1,"claims":[{"source":5,"assertion":0}]}`),
+		[]byte(`{"sources":2,"assertions":1,"claims":[{"source":0,"assertion":0}],"silentDependent":[{"source":0,"assertion":0}]}`),
+		[]byte(`not json`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Dataset
+		if err := json.Unmarshal(data, &d); err != nil {
+			return // malformed or rejected input: an error is the contract
+		}
+		if d.N() < 0 || d.M() < 0 || d.N() > MaxWireDim || d.M() > MaxWireDim {
+			t.Fatalf("decoded dimensions escape validation: n=%d m=%d", d.N(), d.M())
+		}
+		enc, err := json.Marshal(&d)
+		if err != nil {
+			t.Fatalf("re-encode of successfully decoded dataset failed: %v", err)
+		}
+		var d2 Dataset
+		if err := json.Unmarshal(enc, &d2); err != nil {
+			t.Fatalf("decode of our own encoding failed: %v\nencoding: %s", err, enc)
+		}
+		if !reflect.DeepEqual(&d, &d2) {
+			t.Fatalf("round trip not a fixed point:\nfirst:  %+v\nsecond: %+v", d.Summarize(), d2.Summarize())
+		}
+	})
+}

@@ -23,6 +23,7 @@ import (
 	"depsense/internal/claims"
 	"depsense/internal/factfind"
 	"depsense/internal/model"
+	"depsense/internal/parallel"
 	"depsense/internal/randutil"
 	"depsense/internal/runctx"
 )
@@ -96,6 +97,13 @@ type Options struct {
 	// DenseThreshold is the dependent-pairs-per-source level above which
 	// DepModeAuto selects the joint fit (default 5).
 	DenseThreshold float64
+	// Workers bounds the run's parallelism: the E-step and M-step shard
+	// across fixed-size blocks of assertions/sources, and independent
+	// restarts run concurrently, on up to Workers goroutines. Results are
+	// bit-for-bit identical for every Workers value because the block
+	// decomposition and all reduction orders are fixed (see DESIGN.md,
+	// "Deterministic parallel execution"). 0 or 1 runs serial.
+	Workers int
 }
 
 // DepMode selects EM-Ext's strategy for the dependent channel (f_i, g_i).
@@ -254,41 +262,13 @@ func RunCtx(ctx context.Context, ds *claims.Dataset, variant Variant, opts Optio
 		mode = InitVote
 	}
 
+	if opts.Init == nil && opts.Restarts > 1 && opts.Workers > 1 {
+		return runRestartsParallel(ctx, ds, variant, mode, opts)
+	}
+
 	var best *factfind.Result
 	for r := 0; r < opts.Restarts; r++ {
-		rng := randutil.New(opts.Seed + int64(r)*7919)
-		var init *model.Params
-		var seedPost []float64
-		switch {
-		case opts.Init != nil:
-			init = opts.Init.Clone()
-		case mode == InitStaged:
-			coarseOpts := opts
-			coarseOpts.Init = nil
-			coarseOpts.InitMode = InitVote
-			coarseOpts.Restarts = 1
-			coarseOpts.Seed = opts.Seed + int64(r)*7919
-			coarse, err := RunCtx(ctx, ds, VariantIndependent, coarseOpts)
-			if err != nil {
-				if runctx.Reason(err) != "" {
-					return coarse, err
-				}
-				return nil, fmt.Errorf("core: staged init: %w", err)
-			}
-			init = coarse.Params.Clone()
-			for i := range init.Sources {
-				s := &init.Sources[i]
-				s.F, s.G = s.A, s.B
-			}
-		case mode == InitInformed:
-			init = model.InformedInitParams(rng, ds.N())
-		case mode == InitRandom:
-			init = model.RandomParams(rng, ds.N())
-		default: // InitVote
-			init = model.NewParams(ds.N(), 0.5)
-			seedPost = votePosteriors(ds, rng, r > 0)
-		}
-		res, err := runOnce(ctx, ds, variant, init, seedPost, opts)
+		res, err := runRestart(ctx, ds, variant, mode, opts, r)
 		if err != nil {
 			// Cancellation mid-restart: surface the interrupted restart's
 			// partial state rather than silently keeping an earlier best —
@@ -301,6 +281,87 @@ func RunCtx(ctx context.Context, ds *claims.Dataset, variant Variant, opts Optio
 		}
 		if opts.Init != nil {
 			break // explicit init: restarts would all be identical
+		}
+	}
+	return best, nil
+}
+
+// runRestart executes restart r: initialization derived from r's seed, then
+// one EM run. Every restart is a deterministic function of (opts, r) alone,
+// which is what allows the parallel path to run them concurrently and still
+// match the serial path bit for bit.
+func runRestart(ctx context.Context, ds *claims.Dataset, variant Variant, mode InitMode, opts Options, r int) (*factfind.Result, error) {
+	rng := randutil.New(opts.Seed + int64(r)*7919)
+	var init *model.Params
+	var seedPost []float64
+	switch {
+	case opts.Init != nil:
+		init = opts.Init.Clone()
+	case mode == InitStaged:
+		coarseOpts := opts
+		coarseOpts.Init = nil
+		coarseOpts.InitMode = InitVote
+		coarseOpts.Restarts = 1
+		coarseOpts.Seed = opts.Seed + int64(r)*7919
+		coarse, err := RunCtx(ctx, ds, VariantIndependent, coarseOpts)
+		if err != nil {
+			if runctx.Reason(err) != "" {
+				return coarse, err
+			}
+			return nil, fmt.Errorf("core: staged init: %w", err)
+		}
+		init = coarse.Params.Clone()
+		for i := range init.Sources {
+			s := &init.Sources[i]
+			s.F, s.G = s.A, s.B
+		}
+	case mode == InitInformed:
+		init = model.InformedInitParams(rng, ds.N())
+	case mode == InitRandom:
+		init = model.RandomParams(rng, ds.N())
+	default: // InitVote
+		init = model.NewParams(ds.N(), 0.5)
+		seedPost = votePosteriors(ds, rng, r > 0)
+	}
+	return runOnce(ctx, ds, variant, init, seedPost, opts)
+}
+
+// runRestartsParallel fans the restarts out over the worker budget. Each
+// restart is deterministic given its index, the best-of selection scans the
+// completed slots in restart order with the same strictly-greater rule as
+// the serial loop, and on cancellation the lowest-indexed interrupted
+// restart's partial state is surfaced — the restart the serial loop would
+// have been inside. Hooks are serialized because concurrent restarts emit
+// concurrently.
+func runRestartsParallel(ctx context.Context, ds *claims.Dataset, variant Variant, mode InitMode, opts Options) (*factfind.Result, error) {
+	type slot struct {
+		res *factfind.Result
+		err error
+	}
+	slots := make([]slot, opts.Restarts)
+	sctx := runctx.WithSerializedHook(ctx)
+	poolErr := parallel.ForEachCtx(ctx, opts.Restarts, opts.Workers, func(r int) error {
+		slots[r].res, slots[r].err = runRestart(sctx, ds, variant, mode, opts, r)
+		return nil
+	})
+	for r := range slots {
+		if slots[r].err != nil {
+			return slots[r].res, slots[r].err
+		}
+		if slots[r].res == nil {
+			// Cancellation stopped dispatch before restart r ran. The serial
+			// loop would have entered it and returned its initial partial
+			// state from the first iteration checkpoint; reproduce that.
+			return runRestart(sctx, ds, variant, mode, opts, r)
+		}
+	}
+	if poolErr != nil {
+		return nil, poolErr
+	}
+	var best *factfind.Result
+	for r := range slots {
+		if best == nil || slots[r].res.LogLikelihood > best.LogLikelihood {
+			best = slots[r].res
 		}
 	}
 	return best, nil
@@ -335,12 +396,20 @@ func votePosteriors(ds *claims.Dataset, rng interface{ Float64() float64 }, pert
 	return post
 }
 
+// emBlockSize is the fixed shard granularity of the E-step (assertions) and
+// M-step (sources). The decomposition depends only on the problem size, so
+// per-block partials reduced in block index order make every run
+// scheduler-independent: Workers changes wall-clock time, never a bit of
+// the result.
+const emBlockSize = 256
+
 // engine holds the per-run scratch state.
 type engine struct {
 	ds        *claims.Dataset
 	variant   Variant
 	smooth    float64
 	smoothDep float64
+	workers   int
 
 	// Per-source log-probability tables, refreshed each iteration.
 	logA, log1A []float64
@@ -356,6 +425,11 @@ type engine struct {
 	massAZ, massAY []float64
 	massFZ, massFY []float64
 	silZ, silY     []float64
+
+	// Per-block reduction partials (E-step log-likelihood, M-step posterior
+	// mass) and per-source M-step numerators/denominators, allocated once.
+	llPart, zPart []float64
+	nums, dens    [][4]float64
 }
 
 func runOnce(ctx context.Context, ds *claims.Dataset, variant Variant, params *model.Params, seedPost []float64, opts Options) (*factfind.Result, error) {
@@ -365,6 +439,7 @@ func runOnce(ctx context.Context, ds *claims.Dataset, variant Variant, params *m
 		variant:   variant,
 		smooth:    opts.Smoothing,
 		smoothDep: opts.DepSmoothing,
+		workers:   opts.Workers,
 		logA:      make([]float64, n),
 		log1A:     make([]float64, n),
 		logB:      make([]float64, n),
@@ -473,6 +548,11 @@ func (e *engine) refreshLogs(p *model.Params) {
 // assertion then applies sparse corrections for its claimants and (under
 // VariantExt) its silent-dependent sources, so the step costs
 // O(n + m + nnz) rather than O(n·m).
+//
+// Assertions shard into fixed blocks: each block writes its posteriors
+// (disjoint slots) and a block-local log-likelihood partial, and the
+// partials are summed in block index order afterwards — the same reduction
+// whether the blocks ran on one goroutine or many.
 func (e *engine) eStep(p *model.Params) float64 {
 	var base1, base0 float64
 	for i := range p.Sources {
@@ -482,34 +562,48 @@ func (e *engine) eStep(p *model.Params) float64 {
 	logZ := math.Log(p.Z)
 	log1Z := math.Log(1 - p.Z)
 
+	m := e.ds.M()
+	nb := parallel.Blocks(m, emBlockSize)
+	if len(e.llPart) < nb {
+		e.llPart = make([]float64, nb)
+	}
+	_ = parallel.ForEach(nb, e.workers, func(b int) error {
+		lo, hi := parallel.BlockRange(b, m, emBlockSize)
+		ll := 0.0
+		for j := lo; j < hi; j++ {
+			l1, l0 := base1, base0
+			for _, c := range e.ds.Claimants(j) {
+				i := c.Source
+				switch {
+				case e.variant == VariantExt && c.Dependent:
+					l1 += e.logF[i] - e.log1A[i]
+					l0 += e.logG[i] - e.log1B[i]
+				case e.variant == VariantSocial && c.Dependent:
+					// Pair unobserved: remove the baseline silent factor.
+					l1 -= e.log1A[i]
+					l0 -= e.log1B[i]
+				default:
+					l1 += e.logA[i] - e.log1A[i]
+					l0 += e.logB[i] - e.log1B[i]
+				}
+			}
+			if e.variant == VariantExt {
+				for _, i := range e.ds.SilentDependents(j) {
+					l1 += e.log1F[i] - e.log1A[i]
+					l0 += e.log1G[i] - e.log1B[i]
+				}
+			}
+			w1 := l1 + logZ
+			w0 := l0 + log1Z
+			e.post[j] = sigmoidDiff(w1, w0)
+			ll += logSumExp(w1, w0)
+		}
+		e.llPart[b] = ll
+		return nil
+	})
 	ll := 0.0
-	for j := 0; j < e.ds.M(); j++ {
-		l1, l0 := base1, base0
-		for _, c := range e.ds.Claimants(j) {
-			i := c.Source
-			switch {
-			case e.variant == VariantExt && c.Dependent:
-				l1 += e.logF[i] - e.log1A[i]
-				l0 += e.logG[i] - e.log1B[i]
-			case e.variant == VariantSocial && c.Dependent:
-				// Pair unobserved: remove the baseline silent factor.
-				l1 -= e.log1A[i]
-				l0 -= e.log1B[i]
-			default:
-				l1 += e.logA[i] - e.log1A[i]
-				l0 += e.logB[i] - e.log1B[i]
-			}
-		}
-		if e.variant == VariantExt {
-			for _, i := range e.ds.SilentDependents(j) {
-				l1 += e.log1F[i] - e.log1A[i]
-				l0 += e.log1G[i] - e.log1B[i]
-			}
-		}
-		w1 := l1 + logZ
-		w0 := l0 + log1Z
-		e.post[j] = sigmoidDiff(w1, w0)
-		ll += logSumExp(w1, w0)
+	for b := 0; b < nb; b++ {
+		ll += e.llPart[b]
 	}
 	return ll
 }
@@ -522,58 +616,86 @@ func (e *engine) eStep(p *model.Params) float64 {
 // paper's raw M-step, in which a parameter whose stratum carries no
 // posterior mass keeps its previous value.
 func (e *engine) mStep(p *model.Params) {
-	m := e.ds.M()
+	n, m := e.ds.N(), e.ds.M()
+
+	// Total posterior mass, reduced block-wise in index order (the same
+	// decomposition as the E-step) so the sum is Workers-independent.
+	nbM := parallel.Blocks(m, emBlockSize)
+	if len(e.zPart) < nbM {
+		e.zPart = make([]float64, nbM)
+	}
+	_ = parallel.ForEach(nbM, e.workers, func(b int) error {
+		lo, hi := parallel.BlockRange(b, m, emBlockSize)
+		z := 0.0
+		for j := lo; j < hi; j++ {
+			z += e.post[j]
+		}
+		e.zPart[b] = z
+		return nil
+	})
 	sumZ := 0.0
-	for _, z := range e.post {
-		sumZ += z
+	for b := 0; b < nbM; b++ {
+		sumZ += e.zPart[b]
 	}
 	sumY := float64(m) - sumZ
 
-	for i := range p.Sources {
-		e.massAZ[i], e.massAY[i] = 0, 0
-		for _, j := range e.ds.ClaimsD0(i) {
-			e.massAZ[i] += e.post[j]
-			e.massAY[i] += 1 - e.post[j]
-		}
-		e.massFZ[i], e.massFY[i] = 0, 0
-		for _, j := range e.ds.ClaimsD1(i) {
-			e.massFZ[i] += e.post[j]
-			e.massFY[i] += 1 - e.post[j]
-		}
-		e.silZ[i], e.silY[i] = 0, 0
-		for _, j := range e.ds.SilentD1(i) {
-			e.silZ[i] += e.post[j]
-			e.silY[i] += 1 - e.post[j]
-		}
+	// Per-source stratum masses and the numerators/denominators of
+	// Eqs. (10)-(13): every source is independent, so source blocks shard
+	// freely; each slot is written exactly once.
+	if e.nums == nil {
+		e.nums = make([][4]float64, n)
+		e.dens = make([][4]float64, n)
 	}
-
-	// Per-source numerators and denominators of Eqs. (10)-(13) under the
-	// active variant, plus pooled channel totals for shrinkage.
-	var pool [4]ratio // A, B, F, G
-	nums := make([][4]float64, len(p.Sources))
-	dens := make([][4]float64, len(p.Sources))
-	for i := range p.Sources {
-		var r [4]ratio
-		switch e.variant {
-		case VariantExt:
-			depZ := e.massFZ[i] + e.silZ[i]
-			depY := e.massFY[i] + e.silY[i]
-			r[0] = ratio{e.massAZ[i], sumZ - depZ}
-			r[1] = ratio{e.massAY[i], sumY - depY}
-			r[2] = ratio{e.massFZ[i], depZ}
-			r[3] = ratio{e.massFY[i], depY}
-		case VariantIndependent:
-			r[0] = ratio{e.massAZ[i] + e.massFZ[i], sumZ}
-			r[1] = ratio{e.massAY[i] + e.massFY[i], sumY}
-		case VariantSocial:
-			r[0] = ratio{e.massAZ[i], sumZ - e.massFZ[i]}
-			r[1] = ratio{e.massAY[i], sumY - e.massFY[i]}
+	nbN := parallel.Blocks(n, emBlockSize)
+	_ = parallel.ForEach(nbN, e.workers, func(b int) error {
+		lo, hi := parallel.BlockRange(b, n, emBlockSize)
+		for i := lo; i < hi; i++ {
+			e.massAZ[i], e.massAY[i] = 0, 0
+			for _, j := range e.ds.ClaimsD0(i) {
+				e.massAZ[i] += e.post[j]
+				e.massAY[i] += 1 - e.post[j]
+			}
+			e.massFZ[i], e.massFY[i] = 0, 0
+			for _, j := range e.ds.ClaimsD1(i) {
+				e.massFZ[i] += e.post[j]
+				e.massFY[i] += 1 - e.post[j]
+			}
+			e.silZ[i], e.silY[i] = 0, 0
+			for _, j := range e.ds.SilentD1(i) {
+				e.silZ[i] += e.post[j]
+				e.silY[i] += 1 - e.post[j]
+			}
+			var r [4]ratio
+			switch e.variant {
+			case VariantExt:
+				depZ := e.massFZ[i] + e.silZ[i]
+				depY := e.massFY[i] + e.silY[i]
+				r[0] = ratio{e.massAZ[i], sumZ - depZ}
+				r[1] = ratio{e.massAY[i], sumY - depY}
+				r[2] = ratio{e.massFZ[i], depZ}
+				r[3] = ratio{e.massFY[i], depY}
+			case VariantIndependent:
+				r[0] = ratio{e.massAZ[i] + e.massFZ[i], sumZ}
+				r[1] = ratio{e.massAY[i] + e.massFY[i], sumY}
+			case VariantSocial:
+				r[0] = ratio{e.massAZ[i], sumZ - e.massFZ[i]}
+				r[1] = ratio{e.massAY[i], sumY - e.massFY[i]}
+			}
+			for c := 0; c < 4; c++ {
+				e.nums[i][c] = r[c].num
+				e.dens[i][c] = r[c].den
+			}
 		}
+		return nil
+	})
+
+	// Pooled channel totals for shrinkage, accumulated serially in source
+	// index order — a cheap O(n) reduction whose order fixes the result.
+	var pool [4]ratio // A, B, F, G
+	for i := 0; i < n; i++ {
 		for c := 0; c < 4; c++ {
-			nums[i][c] = r[c].num
-			dens[i][c] = r[c].den
-			pool[c].num += r[c].num
-			pool[c].den += r[c].den
+			pool[c].num += e.nums[i][c]
+			pool[c].den += e.dens[i][c]
 		}
 	}
 
@@ -598,11 +720,11 @@ func (e *engine) mStep(p *model.Params) {
 			if e.variant != VariantExt && c >= 2 {
 				break
 			}
-			den := dens[i][c] + shrink[c]
+			den := e.dens[i][c] + shrink[c]
 			if den <= 1e-12 {
 				continue // unsmoothed empty stratum: keep previous value
 			}
-			*dst[c] = model.ClampProb((nums[i][c] + shrink[c]*pooled[c]) / den)
+			*dst[c] = model.ClampProb((e.nums[i][c] + shrink[c]*pooled[c]) / den)
 		}
 		if e.variant == VariantIndependent {
 			// One channel: keep the dependent parameters mirrored so the

@@ -28,6 +28,56 @@ func BenchmarkEMExt(b *testing.B) {
 	}
 }
 
+// BenchmarkEMExtWorkers measures the blocked E/M-step sharding on the
+// acceptance-scale world (500 sources × 2000 assertions) across worker
+// counts. The iteration budget is fixed so every level does identical work;
+// speedup is bounded by GOMAXPROCS.
+func BenchmarkEMExtWorkers(b *testing.B) {
+	cfg := synthetic.EstimatorConfig()
+	cfg.Sources = 500
+	cfg.Assertions = 2000
+	w, err := synthetic.Generate(cfg, randutil.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := Run(w.Dataset, VariantExt, Options{
+					Seed: 1, MaxIters: 3, Tol: 1e-300, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEMExtRestartsWorkers measures the restart fan-out: independent
+// EM runs on concurrent goroutines, reduced in restart order.
+func BenchmarkEMExtRestartsWorkers(b *testing.B) {
+	cfg := synthetic.EstimatorConfig()
+	cfg.Sources = 50
+	cfg.Assertions = 200
+	w, err := synthetic.Generate(cfg, randutil.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := Run(w.Dataset, VariantExt, Options{
+					Seed: 1, Restarts: 4, MaxIters: 20, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEStep isolates one E-step (the per-iteration hot path) via the
 // Posterior scorer.
 func BenchmarkEStep(b *testing.B) {

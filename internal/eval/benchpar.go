@@ -1,0 +1,223 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"time"
+
+	"depsense/internal/bound"
+	"depsense/internal/core"
+	"depsense/internal/randutil"
+	"depsense/internal/synthetic"
+)
+
+// BenchParallelOptions sizes the parallel-speedup benchmark. The zero value
+// selects the acceptance-scale defaults (EM on a 500×2000 world, exact bound
+// at n = 20).
+type BenchParallelOptions struct {
+	// EMSources × EMAssertions sizes the EM benchmark world (default
+	// 500 × 2000).
+	EMSources    int
+	EMAssertions int
+	// EMIters fixes the EM iteration count so every workers level does the
+	// same work (default 5).
+	EMIters int
+	// Restarts sizes the restart fan-out benchmark (default 4).
+	Restarts int
+	// ExactN is the exact-bound column width, 2^ExactN patterns (default 20).
+	ExactN int
+	// Chains is the Gibbs chain count of the approx benchmark (default 4).
+	Chains int
+	// Sweeps is the total Gibbs sweep budget (default 20000).
+	Sweeps int
+	// Reps is how many times each case runs; the fastest rep is recorded
+	// (default 3).
+	Reps int
+	// Workers lists the parallelism levels to benchmark (default
+	// 1, 2, 4, GOMAXPROCS deduplicated).
+	Workers []int
+}
+
+func (o BenchParallelOptions) normalized() BenchParallelOptions {
+	if o.EMSources <= 0 {
+		o.EMSources = 500
+	}
+	if o.EMAssertions <= 0 {
+		o.EMAssertions = 2000
+	}
+	if o.EMIters <= 0 {
+		o.EMIters = 5
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 4
+	}
+	if o.ExactN <= 0 {
+		o.ExactN = 20
+	}
+	if o.Chains <= 0 {
+		o.Chains = 4
+	}
+	if o.Sweeps <= 0 {
+		o.Sweeps = 20000
+	}
+	if o.Reps <= 0 {
+		o.Reps = 3
+	}
+	if len(o.Workers) == 0 {
+		seen := map[int]bool{}
+		for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+			if w >= 1 && !seen[w] {
+				seen[w] = true
+				o.Workers = append(o.Workers, w)
+			}
+		}
+	}
+	return o
+}
+
+// BenchParallelCase is one (benchmark, workers) measurement.
+type BenchParallelCase struct {
+	// Name identifies the hot path: em-estep, em-restarts, exact-bound, or
+	// gibbs-chains.
+	Name string `json:"name"`
+	// Workers is the parallelism level of this measurement.
+	Workers int `json:"workers"`
+	// Seconds is the fastest wall-clock time over the benchmark's reps.
+	Seconds float64 `json:"seconds"`
+	// Speedup is the ratio of the same case's Workers=1 time to this time.
+	Speedup float64 `json:"speedup"`
+	// Identical reports whether this run's numeric output matched the
+	// Workers=1 run bit for bit — the determinism contract under test.
+	Identical bool `json:"identical"`
+}
+
+// BenchParallelReport is the machine-readable output of the parallel
+// benchmark, written as BENCH_parallel.json by cmd/experiments.
+type BenchParallelReport struct {
+	// GOMAXPROCS and NumCPU record the machine the speedups were measured
+	// on: on a single-core host every Speedup is necessarily about 1.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
+	// GeneratedAt is the RFC 3339 wall-clock time of the run.
+	GeneratedAt string              `json:"generated_at"`
+	Cases       []BenchParallelCase `json:"cases"`
+}
+
+// BenchParallel measures the wall-clock scaling of every parallel hot path —
+// the EM E/M block sharding, the EM restart fan-out, the exact-bound block
+// enumeration, and the multi-chain Gibbs approximation — across worker
+// counts, verifying at each level that the output is bit-for-bit identical
+// to the serial run.
+func BenchParallel(c Config, o BenchParallelOptions) (BenchParallelReport, error) {
+	c = c.normalized()
+	o = o.normalized()
+	rep := BenchParallelReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	emCfg := synthetic.DefaultConfig()
+	emCfg.Sources = o.EMSources
+	emCfg.Assertions = o.EMAssertions
+	world, err := synthetic.Generate(emCfg, randutil.New(c.Seed))
+	if err != nil {
+		return rep, fmt.Errorf("eval: benchpar world: %w", err)
+	}
+
+	exactCol := randomColumn(o.ExactN, randutil.New(c.Seed+1))
+
+	type benchCase struct {
+		name string
+		run  func(workers int) (any, error)
+	}
+	cases := []benchCase{
+		{"em-estep", func(workers int) (any, error) {
+			return core.RunCtx(c.Ctx, world.Dataset, core.VariantExt, core.Options{
+				Seed: c.Seed, MaxIters: o.EMIters, Tol: 1e-300, Workers: workers,
+			})
+		}},
+		{"em-restarts", func(workers int) (any, error) {
+			return core.RunCtx(c.Ctx, world.Dataset, core.VariantExt, core.Options{
+				Seed: c.Seed, MaxIters: o.EMIters, Tol: 1e-300,
+				Restarts: o.Restarts, Workers: workers,
+			})
+		}},
+		{"exact-bound", func(workers int) (any, error) {
+			return bound.ExactOpts(c.Ctx, exactCol, bound.ExactOptions{Workers: workers})
+		}},
+		{"gibbs-chains", func(workers int) (any, error) {
+			return bound.ApproxContext(c.Ctx, exactCol, bound.ApproxOptions{
+				MaxSweeps: o.Sweeps, Chains: o.Chains, Workers: workers,
+			}, randutil.New(c.Seed+2))
+		}},
+	}
+
+	for _, bc := range cases {
+		var baseline any
+		var baseSeconds float64
+		for _, w := range o.Workers {
+			var best time.Duration
+			var out any
+			for r := 0; r < o.Reps; r++ {
+				start := time.Now()
+				v, err := bc.run(w)
+				if err != nil {
+					return rep, fmt.Errorf("eval: benchpar %s workers=%d: %w", bc.name, w, err)
+				}
+				if d := time.Since(start); r == 0 || d < best {
+					best = d
+				}
+				out = v
+			}
+			cse := BenchParallelCase{Name: bc.name, Workers: w, Seconds: best.Seconds()}
+			if baseline == nil {
+				baseline = out
+				baseSeconds = cse.Seconds
+				cse.Identical = true
+			} else {
+				cse.Identical = reflect.DeepEqual(baseline, out)
+			}
+			if cse.Seconds > 0 {
+				cse.Speedup = baseSeconds / cse.Seconds
+			}
+			rep.Cases = append(rep.Cases, cse)
+		}
+	}
+	return rep, nil
+}
+
+// randomColumn builds a deterministic bound column with heterogeneous
+// per-source claim probabilities away from the degenerate edges.
+func randomColumn(n int, rng *rand.Rand) bound.Column {
+	col := bound.Column{P1: make([]float64, n), P0: make([]float64, n), Z: 0.5}
+	for i := 0; i < n; i++ {
+		col.P1[i] = randutil.Uniform(rng, 0.55, 0.9)
+		col.P0[i] = randutil.Uniform(rng, 0.1, 0.45)
+	}
+	return col
+}
+
+// Render writes the benchmark as a table.
+func (r BenchParallelReport) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "parallel speedups (GOMAXPROCS=%d, NumCPU=%d)\n", r.GOMAXPROCS, r.NumCPU); err != nil {
+		return err
+	}
+	t := &table{header: []string{"case", "workers", "seconds", "speedup", "identical"}}
+	for _, c := range r.Cases {
+		t.add(c.Name, fmt.Sprintf("%d", c.Workers), fmt.Sprintf("%.4f", c.Seconds),
+			fmt.Sprintf("%.2f", c.Speedup), fmt.Sprintf("%t", c.Identical))
+	}
+	return t.write(w)
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r BenchParallelReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

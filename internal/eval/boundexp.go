@@ -110,6 +110,7 @@ func boundSweep(label, xName string, xs []float64, cfgs []synthetic.Config, c Co
 			ex, err := bound.ForDatasetContext(c.Ctx, w.Dataset, w.TrueParams, bound.DatasetOptions{
 				Method:     bound.MethodExact,
 				MaxColumns: c.MaxExactColumns,
+				Workers:    c.Workers,
 			}, randutil.New(colSeed))
 			if err != nil {
 				return BoundSeries{}, fmt.Errorf("eval: %s exact: %w", label, err)
@@ -121,6 +122,7 @@ func boundSweep(label, xName string, xs []float64, cfgs []synthetic.Config, c Co
 				Method:     bound.MethodApprox,
 				MaxColumns: c.MaxExactColumns,
 				Approx:     bound.ApproxOptions{MaxSweeps: c.GibbsSweeps},
+				Workers:    c.Workers,
 			}, randutil.New(colSeed))
 			if err != nil {
 				return BoundSeries{}, fmt.Errorf("eval: %s approx: %w", label, err)

@@ -21,6 +21,7 @@ import (
 
 	"depsense/internal/apollo"
 	"depsense/internal/baselines"
+	"depsense/internal/core"
 	"depsense/internal/depgraph"
 	"depsense/internal/factfind"
 	"depsense/internal/runctx"
@@ -40,6 +41,10 @@ type Options struct {
 	// limit). Requests that exceed it get a 503 with the progress the
 	// estimator made before the deadline.
 	ComputeTimeout time.Duration
+	// Workers bounds the intra-request estimator parallelism (EM restart
+	// fan-out). Results are bit-for-bit identical at any value; 0 or 1 runs
+	// serial.
+	Workers int
 }
 
 // Server is the HTTP facade over the Apollo pipeline.
@@ -168,7 +173,7 @@ func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	finder := pickAlgorithm(req.Algorithm, s.opts.Seed)
+	finder := pickAlgorithm(req.Algorithm, core.Options{Seed: s.opts.Seed, Workers: s.opts.Workers})
 	if finder == nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm))
 		return
@@ -256,11 +261,11 @@ func (s *Server) buildInput(req Request) (apollo.Input, error) {
 	return apollo.Input{NumSources: req.Sources, Messages: msgs, Graph: graph}, nil
 }
 
-func pickAlgorithm(name string, seed int64) factfind.FactFinder {
+func pickAlgorithm(name string, opts core.Options) factfind.FactFinder {
 	if name == "" {
 		name = "EM-Ext"
 	}
-	for _, alg := range baselines.Extended(seed) {
+	for _, alg := range baselines.ExtendedOpts(opts) {
 		if strings.EqualFold(alg.Name(), name) {
 			return alg
 		}

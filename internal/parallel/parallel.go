@@ -2,6 +2,12 @@
 // embarrassingly parallel experiment sweeps. Work items are indexed so
 // callers can write results into pre-allocated slots and aggregate
 // deterministically afterwards regardless of scheduling order.
+//
+// Blocks and BlockRange define the fixed block decomposition used by the
+// deterministic hot paths (EM E/M steps, exact bound enumeration): the
+// decomposition depends only on the problem size, never on the worker
+// count, so per-block partials reduced in block index order yield results
+// that are bit-for-bit identical at any parallelism level.
 package parallel
 
 import (
@@ -10,6 +16,30 @@ import (
 	"runtime"
 	"sync"
 )
+
+// Blocks returns the number of fixed-size blocks covering n items. It is
+// zero for n <= 0 and never depends on the worker count, which is what
+// makes block-partial reductions scheduler-independent.
+func Blocks(n, size int) int {
+	if n <= 0 {
+		return 0
+	}
+	if size <= 0 {
+		size = 1
+	}
+	return (n + size - 1) / size
+}
+
+// BlockRange returns the half-open item range [lo, hi) of block b under the
+// same decomposition as Blocks.
+func BlockRange(b, n, size int) (lo, hi int) {
+	lo = b * size
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
 
 // ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
 // (workers <= 0 selects GOMAXPROCS). It waits for all items to finish and

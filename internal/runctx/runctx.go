@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -104,6 +105,25 @@ func HookFrom(ctx context.Context) Hook {
 	}
 	h, _ := ctx.Value(hookKey{}).(Hook)
 	return h
+}
+
+// WithSerializedHook returns a context whose hook chain (if any) is
+// replaced by a mutex-guarded equivalent. Parallel compute paths — EM
+// restarts, exact-bound blocks, Gibbs chains running concurrently — wrap
+// their context with this before fanning out, so user hooks written for the
+// serial contract never observe two concurrent calls.
+func WithSerializedHook(ctx context.Context) context.Context {
+	h := HookFrom(ctx)
+	if h == nil {
+		return ctx
+	}
+	var mu sync.Mutex
+	locked := Hook(func(it Iteration) {
+		mu.Lock()
+		defer mu.Unlock()
+		h(it)
+	})
+	return context.WithValue(ctx, hookKey{}, locked)
 }
 
 type rngKey struct{}
