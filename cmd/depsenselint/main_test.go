@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot returns the module root (this test runs in cmd/depsenselint).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestBinaryBuildsAndRunsClean is the acceptance smoke test: the
+// multichecker binary builds, and the whole repository is clean — zero
+// findings that are not justified by a //lint:allow suppression.
+func TestBinaryBuildsAndRunsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skips whole-repo analysis")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "depsenselint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/depsenselint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building depsenselint: %v\n%s", err, out)
+	}
+
+	var stdout, stderr bytes.Buffer
+	run := exec.Command(bin, "./...")
+	run.Dir = root
+	run.Stdout = &stdout
+	run.Stderr = &stderr
+	if err := run.Run(); err != nil {
+		t.Fatalf("depsenselint ./... not clean: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "" {
+		t.Errorf("expected no findings, got:\n%s", got)
+	}
+}
+
+// TestListFlag checks the analyzer roster the binary advertises.
+func TestListFlag(t *testing.T) {
+	run := exec.Command("go", "run", ".", "-list")
+	run.Dir = "."
+	out, err := run.CombinedOutput()
+	if err != nil {
+		t.Fatalf("-list: %v\n%s", err, out)
+	}
+	for _, name := range []string{"ctxloop", "maporder", "probexpr", "seedsource"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}

@@ -14,11 +14,11 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
 	"depsense/internal/claims"
 	"depsense/internal/core"
+	"depsense/internal/randutil"
 	"depsense/internal/runctx"
 	"depsense/internal/stats"
 )
@@ -36,7 +36,7 @@ func main() {
 }
 
 func run() error {
-	rng := rand.New(rand.NewSource(7))
+	rng := randutil.New(7)
 	truth := make([]bool, numAssertions)
 	for j := 0; j < numTrue; j++ {
 		truth[j] = true

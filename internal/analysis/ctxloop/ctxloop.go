@@ -1,0 +1,120 @@
+// Package ctxloop implements the depsenselint analyzer that enforces the
+// run-context contract on estimator iteration loops.
+//
+// Every long-running computation in this repository — EM iterations
+// (Algorithm 2), Gibbs sweeps (Algorithm 1), the exact-bound enumeration,
+// baseline belief rounds — must be cancellable at iteration granularity via
+// depsense/internal/runctx (the PR 1 contract). An unbounded loop
+// (`for { ... }` or `for cond { ... }`) in an estimator package that never
+// consults cancellation can spin past a caller's deadline forever. The
+// analyzer flags such loops unless their body (syntactically) consults the
+// contract: a runctx call, ctx.Err()/ctx.Done()/ctx.Deadline() on a
+// context.Context value, or a call whose name mentions cancellation.
+// Counter-style `for i := 0; i < n; i++` loops are bounded by construction
+// and exempt.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"depsense/internal/analysis/framework"
+	"depsense/internal/analysis/zones"
+)
+
+// Analyzer flags unbounded loops in estimator packages that never consult
+// the runctx cancellation contract.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxloop",
+	Doc: "flag unbounded for-loops in estimator packages that never consult " +
+		"runctx/ctx cancellation (the run-context contract)",
+	Run: run,
+}
+
+const runctxPath = "depsense/internal/runctx"
+
+func run(pass *framework.Pass) error {
+	if !zones.Estimator[pass.Path] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fs, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			// A three-clause loop (init/post present) is a bounded counter
+			// loop; while-style and infinite loops are the risk.
+			if fs.Init != nil || fs.Post != nil {
+				return true
+			}
+			if !consultsCancellation(pass, fs.Body) {
+				pass.Reportf(fs.Pos(),
+					"unbounded for-loop in estimator package %s never consults cancellation; "+
+						"check runctx.Err(ctx) (or ctx.Err()/ctx.Done()) each iteration per the run-context contract, "+
+						"or suppress with //lint:allow ctxloop <reason>", pass.Path)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// consultsCancellation reports whether body contains a syntactic consult of
+// the cancellation contract.
+func consultsCancellation(pass *framework.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// runctx.Err(ctx), runctx.HookFrom(ctx), ... — any use of the
+		// run-context package counts.
+		if path, _ := framework.SelectorPkgPath(pass.TypesInfo, call.Fun); path == runctxPath {
+			found = true
+			return false
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			// ctx.Err() / ctx.Done() / ctx.Deadline() on a context value.
+			name := fun.Sel.Name
+			if name == "Err" || name == "Done" || name == "Deadline" {
+				if tv, ok := pass.TypesInfo.Types[fun.X]; ok && isContext(tv.Type) {
+					found = true
+					return false
+				}
+			}
+			if mentionsCancel(name) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if mentionsCancel(fun.Name) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mentionsCancel(name string) bool {
+	return strings.Contains(strings.ToLower(name), "cancel")
+}
+
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+	}
+	return t.String() == "context.Context"
+}

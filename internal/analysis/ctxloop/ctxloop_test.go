@@ -1,0 +1,21 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"depsense/internal/analysis/analysistest"
+	"depsense/internal/analysis/ctxloop"
+)
+
+func TestEstimatorPackage(t *testing.T) {
+	analysistest.RunPath(t, ctxloop.Analyzer, "testdata/est", "depsense/internal/core")
+}
+
+// TestNonEstimatorPackage re-analyzes the same fixture under a package path
+// outside the estimator zones: nothing may fire.
+func TestNonEstimatorPackage(t *testing.T) {
+	findings := analysistest.Findings(t, ctxloop.Analyzer, "testdata/est", "depsense/internal/plot")
+	if len(findings) != 0 {
+		t.Errorf("ctxloop fired outside estimator zones: %v", findings)
+	}
+}

@@ -1,0 +1,85 @@
+// Fixture analyzed under depsense/internal/core, an estimator package:
+// unbounded loops must consult cancellation.
+package fixture
+
+import (
+	"context"
+
+	"depsense/internal/runctx"
+)
+
+// SpinForever never consults cancellation.
+func SpinForever(ctx context.Context) int {
+	n := 0
+	for { // want `unbounded for-loop .* never consults cancellation`
+		n++
+		if n > 100 {
+			break
+		}
+	}
+
+	// While-style convergence loops are unbounded too.
+	converged := false
+	for !converged { // want `unbounded for-loop .* never consults cancellation`
+		converged = n%7 == 0
+		n++
+	}
+	return n
+}
+
+// Iterate is the contract-conforming shape from the EM/Gibbs loops.
+func Iterate(ctx context.Context) (int, error) {
+	n := 0
+	for {
+		if err := runctx.Err(ctx); err != nil {
+			return n, err
+		}
+		n++
+		if n > 100 {
+			return n, nil
+		}
+	}
+}
+
+// DirectCtx consults the context without the runctx wrapper.
+func DirectCtx(ctx context.Context) int {
+	n := 0
+	for {
+		if ctx.Err() != nil {
+			return n
+		}
+		n++
+	}
+}
+
+// SelectDone consults via the Done channel.
+func SelectDone(ctx context.Context, work chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case w := <-work:
+			total += w
+		}
+	}
+}
+
+// Counter loops are bounded by construction.
+func Counter(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// Justified carries an allow for a loop that is bounded in practice.
+func Justified(done []bool) int {
+	limit := 0
+	//lint:allow ctxloop bounded scan: limit strictly increases toward len(done)
+	for limit < len(done) && done[limit] {
+		limit++
+	}
+	return limit
+}

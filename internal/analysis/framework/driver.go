@@ -1,0 +1,94 @@
+package framework
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one post-suppression diagnostic, positioned and attributed.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers applies every analyzer to every package, filters the
+// diagnostics through //lint:allow directives, and returns the surviving
+// findings sorted by position. Malformed or reasonless directives surface
+// as findings under the reserved "lintallow" name, which no directive can
+// suppress — every suppression must carry a justification.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows := parseAllows(pkg)
+		for _, d := range allows {
+			if d.malformed != "" {
+				findings = append(findings, Finding{
+					Analyzer: AllowName,
+					Pos:      pkg.Fset.Position(d.pos),
+					Message:  d.malformed,
+				})
+			}
+		}
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Path:      pkg.ImportPath,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("framework: analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(allows, a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// suppressed reports whether a well-formed allow directive for the analyzer
+// covers the finding's line.
+func suppressed(allows []allowDirective, analyzer string, pos token.Position) bool {
+	for _, d := range allows {
+		if d.malformed != "" || d.file != pos.Filename || d.line != pos.Line {
+			continue
+		}
+		for _, name := range d.analyzers {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

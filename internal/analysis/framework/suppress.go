@@ -1,0 +1,109 @@
+package framework
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// AllowName is the analyzer name under which suppression-hygiene findings
+// (a //lint:allow with no reason, or malformed) are reported. It cannot
+// itself be suppressed.
+const AllowName = "lintallow"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos       token.Pos
+	file      string
+	line      int // line the directive suppresses
+	ownLine   int // line the comment itself sits on
+	analyzers []string
+	reason    string
+	malformed string // non-empty: why the directive is invalid
+}
+
+var (
+	// allowPrefixRe decides whether a comment is a directive at all;
+	// comments that merely mention lint:allow mid-text (docs) are ignored.
+	allowPrefixRe = regexp.MustCompile(`^//\s*lint:allow\b`)
+	allowRe       = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_,-]+)((?:\s+\S.*)?)$`)
+)
+
+// parseAllows scans a package's comments for //lint:allow directives.
+// A directive trailing code suppresses its own line; a directive alone on
+// its line suppresses the next line (stacked standalone directives chain
+// through to the first code line below them).
+func parseAllows(pkg *Package) []allowDirective {
+	var out []allowDirective
+	for _, f := range pkg.Files {
+		tf := pkg.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		src := pkg.Sources[tf.Name()]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimRight(c.Text, " \t")
+				if !allowPrefixRe.MatchString(text) {
+					continue
+				}
+				line := tf.Line(c.Pos())
+				d := allowDirective{pos: c.Pos(), file: tf.Name(), ownLine: line, line: line}
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil {
+					d.malformed = "malformed //lint:allow directive; use //lint:allow <analyzer>[,<analyzer>...] <reason>"
+					out = append(out, d)
+					continue
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						d.analyzers = append(d.analyzers, name)
+					}
+				}
+				d.reason = strings.TrimSpace(m[2])
+				if d.reason == "" {
+					d.malformed = "//lint:allow must carry a reason: //lint:allow " + m[1] + " <why this is safe>"
+				}
+				if standaloneComment(src, tf, c.Pos()) {
+					d.line = line + 1
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	// Chain stacked standalone directives: a directive whose target line
+	// holds another standalone directive suppresses that directive's target
+	// instead, so several analyzers can be allowed above one statement.
+	type fileLine struct {
+		file string
+		line int
+	}
+	byOwnLine := make(map[fileLine]*allowDirective, len(out))
+	for i := range out {
+		if out[i].line != out[i].ownLine {
+			byOwnLine[fileLine{out[i].file, out[i].ownLine}] = &out[i]
+		}
+	}
+	for i := range out {
+		d := &out[i]
+		for hops := 0; hops < len(out); hops++ {
+			next, ok := byOwnLine[fileLine{d.file, d.line}]
+			if !ok || next == d {
+				break
+			}
+			d.line = next.line
+		}
+	}
+	return out
+}
+
+// standaloneComment reports whether the comment starting at pos is the
+// first non-whitespace content on its source line.
+func standaloneComment(src []byte, tf *token.File, pos token.Pos) bool {
+	off := tf.Offset(pos)
+	if src == nil || off > len(src) {
+		return false
+	}
+	lineStart := tf.Offset(tf.LineStart(tf.Line(pos)))
+	return len(strings.TrimSpace(string(src[lineStart:off]))) == 0
+}

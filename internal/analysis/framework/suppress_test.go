@@ -1,0 +1,136 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parse builds a minimal Package (no types) for directive-parsing tests.
+func parse(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{
+		ImportPath: "fixture",
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Sources:    map[string][]byte{"fix.go": []byte(src)},
+	}
+}
+
+func TestParseAllows(t *testing.T) {
+	src := `package fixture
+
+func f() {
+	x := 1 //lint:allow alpha trailing directive covers its own line
+	//lint:allow beta standalone directive covers the next line
+	x++
+	//lint:allow gamma stacked standalone directives
+	//lint:allow delta chain to the first code line below
+	x--
+	//lint:allow epsilon,zeta comma lists name several analyzers
+	_ = x
+	//lint:allow
+	_ = x
+	// a doc sentence may mention lint:allow mid-text without being a directive
+}
+`
+	pkg := parse(t, src)
+	allows := parseAllows(pkg)
+
+	byAnalyzer := map[string]allowDirective{}
+	malformed := 0
+	for _, d := range allows {
+		if d.malformed != "" {
+			malformed++
+			continue
+		}
+		for _, a := range d.analyzers {
+			byAnalyzer[a] = d
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("malformed directives = %d, want 1 (the reasonless one)", malformed)
+	}
+	cases := map[string]int{
+		"alpha":   4, // its own line
+		"beta":    6, // next line
+		"gamma":   9, // chained through delta's line to the code line
+		"delta":   9,
+		"epsilon": 11,
+		"zeta":    11,
+	}
+	for name, wantLine := range cases {
+		d, ok := byAnalyzer[name]
+		if !ok {
+			t.Errorf("directive %q not parsed", name)
+			continue
+		}
+		if d.line != wantLine {
+			t.Errorf("directive %q covers line %d, want %d", name, d.line, wantLine)
+		}
+		if d.reason == "" {
+			t.Errorf("directive %q lost its reason", name)
+		}
+	}
+}
+
+// TestRunAnalyzersSuppression drives the full driver with a dummy analyzer
+// that reports on every integer literal, checking line-targeted
+// suppression and the lintallow hygiene finding.
+func TestRunAnalyzersSuppression(t *testing.T) {
+	src := `package fixture
+
+func f() int {
+	a := 1
+	b := 2 //lint:allow dummy justified
+	//lint:allow dummy also justified
+	c := 3
+	//lint:allow dummy
+	d := 4
+	return a + b + c + d
+}
+`
+	pkg := parse(t, src)
+	dummy := &Analyzer{
+		Name: "dummy",
+		Doc:  "report every int literal",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.BasicLit); ok {
+						pass.Reportf(lit.Pos(), "literal %s", lit.Value)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{dummy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Analyzer+":"+f.Message)
+	}
+	want := []string{
+		"dummy:literal 1", // unsuppressed
+		AllowName + ":" + "//lint:allow must carry a reason: //lint:allow dummy <why this is safe>",
+		"dummy:literal 4", // reasonless directive is void
+	}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %d entries %v", got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Fixture for suppression hygiene, asserted programmatically (a want
+// comment cannot trail a directive — the directive runs to end of line).
+// The reasonless allow is void, so BOTH the maporder finding and a
+// lintallow finding must surface.
+package fixture
+
+// Count has a reasonless suppression attempt.
+func Count(m map[int]int) int {
+	n := 0
+	//lint:allow maporder
+	for range m {
+		n++
+	}
+	return n
+}

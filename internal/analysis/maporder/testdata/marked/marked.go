@@ -1,0 +1,23 @@
+// Fixture analyzed under a non-zone import path: only the function carrying
+// the //depsense:deterministic marker is patrolled.
+package fixture
+
+// Unmarked code in a non-zone package may range maps freely.
+func Unmarked(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Marked is a reducer that opted into the deterministic contract.
+//
+//depsense:deterministic
+func Marked(m map[string]int) int {
+	n := 0
+	for range m { // want `range over map`
+		n++
+	}
+	return n
+}

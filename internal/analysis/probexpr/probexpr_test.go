@@ -1,0 +1,21 @@
+package probexpr_test
+
+import (
+	"testing"
+
+	"depsense/internal/analysis/analysistest"
+	"depsense/internal/analysis/probexpr"
+)
+
+func TestNumericZone(t *testing.T) {
+	analysistest.RunPath(t, probexpr.Analyzer, "testdata/num", "depsense/internal/model")
+}
+
+// TestNonNumericZone re-analyzes the same fixture outside the numeric
+// zones: nothing may fire.
+func TestNonNumericZone(t *testing.T) {
+	findings := analysistest.Findings(t, probexpr.Analyzer, "testdata/num", "depsense/internal/plot")
+	if len(findings) != 0 {
+		t.Errorf("probexpr fired outside numeric zones: %v", findings)
+	}
+}

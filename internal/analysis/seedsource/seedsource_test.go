@@ -1,0 +1,20 @@
+package seedsource_test
+
+import (
+	"testing"
+
+	"depsense/internal/analysis/analysistest"
+	"depsense/internal/analysis/seedsource"
+)
+
+func TestLibraryCode(t *testing.T) {
+	analysistest.RunPath(t, seedsource.Analyzer, "testdata/lib", "depsense/internal/synthetic")
+}
+
+func TestClockedZone(t *testing.T) {
+	analysistest.RunPath(t, seedsource.Analyzer, "testdata/clocked", "depsense/internal/report")
+}
+
+func TestRandutilItself(t *testing.T) {
+	analysistest.RunPath(t, seedsource.Analyzer, "testdata/randutil", "depsense/internal/randutil")
+}

@@ -1,0 +1,37 @@
+// Fixture analyzed under depsense/internal/synthetic: library code, not a
+// clocked zone, not randutil.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+
+	"depsense/internal/randutil"
+)
+
+// Draw exercises every flavor of forbidden randomness.
+func Draw() int {
+	rand.Seed(42)                      // want `rand\.Seed mutates the process-global source`
+	n := rand.Intn(10)                 // want `process-global source`
+	x := rand.Float64()                // want `process-global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `process-global source`
+
+	src := rand.NewSource(7) // want `construct RNGs via depsense/internal/randutil`
+	rng := rand.New(src)     // want `construct RNGs via depsense/internal/randutil`
+
+	// The blessed path: an explicit seed through randutil.
+	good := randutil.New(7)
+	_ = good.Intn(10) // method on an explicit generator: fine
+
+	//lint:allow seedsource demonstration that a justified allow silences the finding
+	rand.Seed(1)
+
+	_ = x
+	_ = rng
+	return n
+}
+
+// Stamp shows time.Now is NOT flagged outside clocked zones.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,16 @@
+// Fixture analyzed under depsense/internal/randutil, the one package
+// allowed to construct generators — but still barred from the global
+// source.
+package fixture
+
+import "math/rand"
+
+// New may construct sources and generators here.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Global draws are forbidden even here.
+func Global() int {
+	return rand.Intn(10) // want `process-global source`
+}

@@ -17,7 +17,7 @@ import (
 // deterministic product of the completed rounds.
 func heuristicLoop(ctx context.Context, name string, rounds int, round func(it int)) (completed int, err error) {
 	hook := runctx.HookFrom(ctx)
-	start := time.Now()
+	start := time.Now() //lint:allow seedsource wall-clock timing for the observability hook Elapsed field, not part of results
 	for it := 0; it < rounds; it++ {
 		if err := runctx.Err(ctx); err != nil {
 			hook.Emit(runctx.Iteration{

@@ -73,7 +73,7 @@ func (t *TruthFinder) RunContext(ctx context.Context, ds *claims.Dataset) (*fact
 	}
 
 	hook := runctx.HookFrom(ctx)
-	start := time.Now()
+	start := time.Now() //lint:allow seedsource wall-clock timing for the observability hook Elapsed field, not part of results
 	iter := 0
 	converged := false
 	for iter = 1; iter <= maxIters; iter++ {

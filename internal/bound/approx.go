@@ -207,7 +207,7 @@ func runApproxChain(ctx context.Context, c Column, opts ApproxOptions, rng *rand
 	}
 
 	hook := runctx.HookFrom(ctx)
-	start := time.Now()
+	start := time.Now() //lint:allow seedsource wall-clock timing for the observability hook Elapsed field, not part of results
 	if _, err := chain.SweepN(ctx, opts.BurnIn); err != nil {
 		return approxTally{}, err
 	}

@@ -203,7 +203,8 @@ func ExactOpts(ctx context.Context, c Column, opts ExactOptions) (Result, error)
 		mu         sync.Mutex
 		blocksDone int
 		hook       = runctx.HookFrom(ctx)
-		start      = time.Now()
+		//lint:allow seedsource wall-clock timing for the observability hook Elapsed field, not part of results
+		start = time.Now()
 	)
 	poolErr := parallel.ForEachCtx(ctx, numBlocks, opts.Workers, func(b int) error {
 		// The block's prefix pattern: bit i of the pattern is ON when the
@@ -262,6 +263,7 @@ func ExactOpts(ctx context.Context, c Column, opts ExactOptions) (Result, error)
 		// Longest contiguous prefix of completed blocks: the deterministic
 		// "how far the enumeration got" state a serial run would also report.
 		limit = 0
+		//lint:allow ctxloop bounded scan: limit strictly increases toward numBlocks
 		for limit < numBlocks && done[limit] {
 			limit++
 		}

@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"depsense/internal/mapsort"
 )
 
 // ClaimRef identifies one claimant of an assertion and whether that claim is
@@ -241,7 +243,17 @@ func (b *Builder) Build() (*Dataset, error) {
 		claimsD1BySource:     make([][]int, b.n),
 		silentD1BySource:     make([][]int, b.n),
 	}
-	for k, dep := range b.claimed {
+	// Iterate both pair maps in sorted order so the dataset layout and —
+	// when several pairs conflict — the reported error are identical on
+	// every run, per the determinism contract (maporder).
+	pairLess := func(a, b pairKey) bool {
+		if a.i != b.i {
+			return a.i < b.i
+		}
+		return a.j < b.j
+	}
+	for _, k := range mapsort.KeysFunc(b.claimed, pairLess) {
+		dep := b.claimed[k]
 		if _, silent := b.silentDep[k]; silent && !dep {
 			return nil, fmt.Errorf("%w: (source=%d, assertion=%d)", ErrConflictingPair, k.i, k.j)
 		}
@@ -254,7 +266,7 @@ func (b *Builder) Build() (*Dataset, error) {
 		}
 		d.numClaims++
 	}
-	for k := range b.silentDep {
+	for _, k := range mapsort.KeysFunc(b.silentDep, pairLess) {
 		if _, isClaim := b.claimed[k]; isClaim {
 			continue // claim already carries the dependent mark
 		}

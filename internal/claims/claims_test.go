@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -267,5 +268,34 @@ func TestIndexConsistency(t *testing.T) {
 	}, &quick.Config{MaxCount: 200})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConflictErrorDeterministic: when several pairs are marked both
+// claimed and silent-dependent, Build must always report the same one —
+// the lowest (source, assertion) in lexicographic order — instead of
+// whichever a map iteration surfaced first.
+func TestConflictErrorDeterministic(t *testing.T) {
+	build := func() error {
+		b := NewBuilder(8, 8)
+		for _, p := range [][2]int{{5, 5}, {1, 1}, {3, 3}} {
+			b.MarkSilentDependent(p[0], p[1])
+			b.AddClaim(p[0], p[1], false)
+		}
+		_, err := b.Build()
+		return err
+	}
+	first := build()
+	if !errors.Is(first, ErrConflictingPair) {
+		t.Fatalf("expected ErrConflictingPair, got %v", first)
+	}
+	want := "(source=1, assertion=1)"
+	if !strings.Contains(first.Error(), want) {
+		t.Fatalf("conflict error %q does not name the lowest pair %s", first, want)
+	}
+	for run := 0; run < 50; run++ {
+		if got := build(); got.Error() != first.Error() {
+			t.Fatalf("run %d: error %q differs from first run %q", run, got, first)
+		}
 	}
 }

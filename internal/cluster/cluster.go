@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"sort"
 	"strings"
 )
 
@@ -93,23 +94,32 @@ func (l *Leader) Cluster(docs [][]string) Assignment {
 	index := make(map[string][]int)
 	leaderTokens := make([][]string, 0)
 	counts := make(map[int]int) // scratch: candidate cluster -> shared tokens
+	cands := make([]int, 0, 64) // scratch: candidate ids in first-seen order
 
 	for d, doc := range docs {
-		clearInts(counts)
+		clear(counts)
+		cands = cands[:0]
 		for _, tok := range doc {
 			for _, c := range index[tok] {
+				if counts[c] == 0 {
+					cands = append(cands, c)
+				}
 				counts[c]++
 			}
 		}
+		// Scan candidates in sorted id order, never map order, so the
+		// winner on Jaccard ties is reproducibly the lowest cluster id.
+		sort.Ints(cands)
 		best, bestSim := -1, threshold
-		for c, shared := range counts {
+		for _, c := range cands {
+			shared := counts[c]
 			// Jaccard from intersection size and set sizes.
 			union := len(doc) + len(leaderTokens[c]) - shared
 			if union == 0 {
 				continue
 			}
 			sim := float64(shared) / float64(union)
-			if sim > bestSim || (sim == bestSim && best >= 0 && c < best) {
+			if sim > bestSim {
 				best, bestSim = c, sim
 			}
 		}
@@ -127,10 +137,4 @@ func (l *Leader) Cluster(docs [][]string) Assignment {
 		assign.Cluster[d] = best
 	}
 	return assign
-}
-
-func clearInts(m map[int]int) {
-	for k := range m {
-		delete(m, k)
-	}
 }

@@ -233,3 +233,33 @@ func twittersimSmall(t *testing.T) [][]string {
 	}
 	return docs
 }
+
+// TestClusterStableAcrossRuns is the regression test for the map-iteration
+// fix in Leader.Cluster: documents engineered to tie on Jaccard similarity
+// between two clusters must land in the same cluster on every run. Before
+// the fix, candidate clusters were scanned in map order, so the winner of a
+// tie depended on Go's randomized map iteration.
+func TestClusterStableAcrossRuns(t *testing.T) {
+	// Leaders l1 = {a, b, x} and l2 = {a, b, y}; the probe {a, b} has
+	// Jaccard 2/3 with both, an exact tie. The contract: lowest cluster
+	// id wins.
+	docs := [][]string{
+		{"a", "b", "x"},
+		{"a", "b", "y"},
+		{"a", "b"},
+	}
+	l := &Leader{Threshold: 0.5}
+	first := l.Cluster(docs)
+	if first.Cluster[2] != 0 {
+		t.Fatalf("tie broke to cluster %d, want lowest id 0", first.Cluster[2])
+	}
+	for run := 0; run < 50; run++ {
+		got := l.Cluster(docs)
+		for d := range docs {
+			if got.Cluster[d] != first.Cluster[d] {
+				t.Fatalf("run %d: doc %d assigned to %d, first run said %d",
+					run, d, got.Cluster[d], first.Cluster[d])
+			}
+		}
+	}
+}

@@ -74,7 +74,7 @@ func (mh *MinHash) Cluster(docs [][]string) Assignment {
 			bandKeys[b] = bandKey(sig[b*rows:(b+1)*rows], uint64(b))
 		}
 
-		clearSet(seen)
+		clear(seen)
 		best, bestSim := -1, threshold
 		for b := 0; b < bands; b++ {
 			for _, c := range buckets[b][bandKeys[b]] {
@@ -165,10 +165,4 @@ func jaccard(doc []string, set map[string]struct{}) float64 {
 		return 0
 	}
 	return float64(shared) / float64(union)
-}
-
-func clearSet(m map[int]struct{}) {
-	for k := range m {
-		delete(m, k)
-	}
 }

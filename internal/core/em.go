@@ -470,7 +470,7 @@ func runOnce(ctx context.Context, ds *claims.Dataset, variant Variant, params *m
 		ll        float64
 	)
 	hook := runctx.HookFrom(ctx)
-	start := time.Now()
+	start := time.Now() //lint:allow seedsource wall-clock timing for the observability hook Elapsed field, not part of results
 	result := func(stopped string) *factfind.Result {
 		return &factfind.Result{
 			Posterior:     append([]float64(nil), eng.post...),
@@ -748,13 +748,8 @@ func sigmoidDiff(w1, w0 float64) float64 {
 	return ed / (1 + ed)
 }
 
-// logSumExp returns log(exp(a)+exp(b)) computed stably.
+// logSumExp returns log(exp(a)+exp(b)) computed stably. It delegates to
+// the shared log-space helpers next to the clamp in internal/model.
 func logSumExp(a, b float64) float64 {
-	if a < b {
-		a, b = b, a
-	}
-	if math.IsInf(a, -1) {
-		return a
-	}
-	return a + math.Log1p(math.Exp(b-a))
+	return model.LogSumExp(a, b)
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"depsense/internal/claims"
+	"depsense/internal/mapsort"
 )
 
 // Graph is a directed follower graph over n sources. Edges(i) lists the
@@ -121,9 +122,13 @@ func BuildDataset(g *Graph, events []Event, m int) (*claims.Dataset, error) {
 	}
 
 	b := claims.NewBuilder(g.n, m)
+	// Iterate each source's claim set in sorted assertion order, never map
+	// order, so the builder sees an identical call sequence every run and
+	// any validation error it reports is reproducible.
 	for i := 0; i < g.n; i++ {
 		// Assertions this source claimed.
-		for j, t := range earliest[i] {
+		for _, j := range mapsort.Keys(earliest[i]) {
+			t := earliest[i][j]
 			dep := false
 			for _, anc := range g.ancestors[i] {
 				if ta, ok := earliest[anc][j]; ok && ta < t {
@@ -136,7 +141,7 @@ func BuildDataset(g *Graph, events []Event, m int) (*claims.Dataset, error) {
 		// Silent pairs: ancestor claimed j, i did not.
 		seen := make(map[int]bool)
 		for _, anc := range g.ancestors[i] {
-			for j := range earliest[anc] {
+			for _, j := range mapsort.Keys(earliest[anc]) {
 				if _, claimed := earliest[i][j]; claimed || seen[j] {
 					continue
 				}

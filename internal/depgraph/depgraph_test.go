@@ -1,6 +1,8 @@
 package depgraph
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -293,5 +295,48 @@ func TestForestWithDepthValidation(t *testing.T) {
 	}
 	if _, _, err := ForestWithDepth(5, 0, 2); err == nil {
 		t.Fatal("tau 0 accepted")
+	}
+}
+
+// TestBuildDatasetStableAcrossRuns is the regression test for the
+// map-iteration fix in BuildDataset: repeated builds from the same graph
+// and event log must JSON-encode to byte-identical datasets. Before the
+// fix, per-source claim maps were iterated in map order, so the builder's
+// call sequence (and any error it picked) varied run to run.
+func TestBuildDatasetStableAcrossRuns(t *testing.T) {
+	g := NewGraph(6)
+	for _, e := range [][2]int{{1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 2}} {
+		if err := g.AddFollow(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := []Event{
+		{Source: 0, Assertion: 0, Time: 1},
+		{Source: 0, Assertion: 1, Time: 2},
+		{Source: 0, Assertion: 2, Time: 3},
+		{Source: 1, Assertion: 0, Time: 5},
+		{Source: 1, Assertion: 3, Time: 6},
+		{Source: 2, Assertion: 1, Time: 7},
+		{Source: 3, Assertion: 0, Time: 8},
+		{Source: 3, Assertion: 3, Time: 9},
+		{Source: 4, Assertion: 2, Time: 10},
+		{Source: 5, Assertion: 1, Time: 11},
+	}
+	encode := func() []byte {
+		ds, err := BuildDataset(g, events, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	first := encode()
+	for run := 0; run < 30; run++ {
+		if got := encode(); !bytes.Equal(got, first) {
+			t.Fatalf("run %d: dataset encoding differs from first run", run)
+		}
 	}
 }

@@ -40,6 +40,10 @@ type BenchParallelOptions struct {
 	// Workers lists the parallelism levels to benchmark (default
 	// 1, 2, 4, GOMAXPROCS deduplicated).
 	Workers []int
+	// Clock stamps the report's GeneratedAt; nil means time.Now. The
+	// speedup measurements themselves always read the wall clock — they
+	// measure it.
+	Clock func() time.Time
 }
 
 func (o BenchParallelOptions) normalized() BenchParallelOptions {
@@ -115,10 +119,14 @@ type BenchParallelReport struct {
 func BenchParallel(c Config, o BenchParallelOptions) (BenchParallelReport, error) {
 	c = c.normalized()
 	o = o.normalized()
+	clock := o.Clock
+	if clock == nil {
+		clock = time.Now // the injectable default, not a bare read
+	}
 	rep := BenchParallelReport{
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GeneratedAt: clock().UTC().Format(time.RFC3339),
 	}
 
 	emCfg := synthetic.DefaultConfig()
@@ -164,7 +172,7 @@ func BenchParallel(c Config, o BenchParallelOptions) (BenchParallelReport, error
 			var best time.Duration
 			var out any
 			for r := 0; r < o.Reps; r++ {
-				start := time.Now()
+				start := time.Now() //lint:allow seedsource wall-clock timing measurement: this benchmark's output IS elapsed seconds
 				v, err := bc.run(w)
 				if err != nil {
 					return rep, fmt.Errorf("eval: benchpar %s workers=%d: %w", bc.name, w, err)

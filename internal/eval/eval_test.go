@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTableIExact(t *testing.T) {
@@ -338,5 +339,37 @@ func TestConfigNormalization(t *testing.T) {
 		n.OptimalRuns != d.OptimalRuns || n.GibbsSweeps != d.GibbsSweeps ||
 		n.TopK != d.TopK || n.EmpiricalScale != 1 || n.EmpiricalSeeds != 3 {
 		t.Fatalf("normalized zero config: %+v", n)
+	}
+}
+
+// TestBenchParallelInjectedClock runs a tiny parallel benchmark with a fixed
+// clock and checks the report stamp comes from it, not the wall clock.
+func TestBenchParallelInjectedClock(t *testing.T) {
+	fixed := time.Date(2016, 6, 27, 9, 30, 0, 0, time.UTC)
+	rep, err := BenchParallel(Config{Seed: 11}, BenchParallelOptions{
+		EMSources:    5,
+		EMAssertions: 10,
+		EMIters:      1,
+		Restarts:     1,
+		ExactN:       4,
+		Chains:       1,
+		Sweeps:       10,
+		Reps:         1,
+		Workers:      []int{1},
+		Clock:        func() time.Time { return fixed },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GeneratedAt != "2016-06-27T09:30:00Z" {
+		t.Fatalf("GeneratedAt = %q, want the injected clock's stamp", rep.GeneratedAt)
+	}
+	if len(rep.Cases) == 0 {
+		t.Fatal("benchmark produced no cases")
+	}
+	for _, c := range rep.Cases {
+		if !c.Identical {
+			t.Errorf("case %s workers=%d: output not identical to serial", c.Name, c.Workers)
+		}
 	}
 }

@@ -1,0 +1,61 @@
+package mapsort
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestKeysSorted(t *testing.T) {
+	m := map[int]string{9: "i", 3: "c", 7: "g", 1: "a"}
+	for run := 0; run < 20; run++ {
+		got := Keys(m)
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("Keys returned unsorted order %v", got)
+		}
+		if len(got) != len(m) {
+			t.Fatalf("Keys returned %d keys, want %d", len(got), len(m))
+		}
+	}
+}
+
+func TestKeysStringOrder(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := Keys(m)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKeysEmptyAndNil(t *testing.T) {
+	if got := Keys(map[int]int{}); len(got) != 0 {
+		t.Errorf("empty map: got %v", got)
+	}
+	var nilMap map[int]int
+	if got := Keys(nilMap); len(got) != 0 {
+		t.Errorf("nil map: got %v", got)
+	}
+}
+
+type pair struct{ i, j int }
+
+func TestKeysFunc(t *testing.T) {
+	m := map[pair]bool{{2, 1}: true, {1, 9}: true, {1, 2}: true, {2, 0}: true}
+	less := func(a, b pair) bool {
+		if a.i != b.i {
+			return a.i < b.i
+		}
+		return a.j < b.j
+	}
+	want := []pair{{1, 2}, {1, 9}, {2, 0}, {2, 1}}
+	for run := 0; run < 20; run++ {
+		got := KeysFunc(m, less)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("KeysFunc = %v, want %v", got, want)
+			}
+		}
+	}
+}

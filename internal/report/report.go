@@ -27,8 +27,13 @@ type Input struct {
 	Pipeline *apollo.Output
 	// SourceNames optionally maps dense source ids to display names.
 	SourceNames []string
-	// GeneratedAt stamps the report; zero means time.Now.
+	// GeneratedAt stamps the report; zero means Clock (and ultimately
+	// time.Now).
 	GeneratedAt time.Time
+	// Clock supplies the timestamp when GeneratedAt is zero; nil means
+	// time.Now. Tests inject a fixed clock so rendered reports are
+	// byte-for-byte reproducible.
+	Clock func() time.Time
 	// MaxSources bounds the reliability table (default 15 most + 15 least
 	// reliable).
 	MaxSources int
@@ -81,7 +86,11 @@ func Render(w io.Writer, in Input) error {
 	}
 	ts := in.GeneratedAt
 	if ts.IsZero() {
-		ts = time.Now()
+		clock := in.Clock
+		if clock == nil {
+			clock = time.Now // the injectable default, not a bare read
+		}
+		ts = clock()
 	}
 	data.GeneratedAt = ts.UTC().Format(time.RFC3339)
 

@@ -127,3 +127,48 @@ func TestRenderSourceNames(t *testing.T) {
 		t.Fatal("source names not used")
 	}
 }
+
+// TestRenderInjectedClock verifies the injectable clock: with GeneratedAt
+// zero, the timestamp must come from Clock, making two renders of the same
+// run byte-for-byte identical.
+func TestRenderInjectedClock(t *testing.T) {
+	out, alg := pipelineOutput(t)
+	fixed := time.Date(2016, 6, 27, 9, 30, 0, 0, time.UTC)
+	render := func() string {
+		var sb strings.Builder
+		if err := Render(&sb, Input{
+			Algorithm: alg,
+			Pipeline:  out,
+			Clock:     func() time.Time { return fixed },
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	if !strings.Contains(first, "2016-06-27T09:30:00Z") {
+		t.Fatalf("report did not use the injected clock")
+	}
+	if second := render(); second != first {
+		t.Fatalf("two renders with a fixed clock differ")
+	}
+}
+
+// TestRenderGeneratedAtBeatsClock: an explicit GeneratedAt wins over the
+// injected clock.
+func TestRenderGeneratedAtBeatsClock(t *testing.T) {
+	out, alg := pipelineOutput(t)
+	var sb strings.Builder
+	err := Render(&sb, Input{
+		Algorithm:   alg,
+		Pipeline:    out,
+		GeneratedAt: time.Date(2015, 3, 10, 12, 0, 0, 0, time.UTC),
+		Clock:       func() time.Time { return time.Date(2099, 1, 1, 0, 0, 0, 0, time.UTC) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2015-03-10T12:00:00Z") {
+		t.Fatalf("explicit GeneratedAt was not honored")
+	}
+}
