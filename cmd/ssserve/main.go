@@ -3,10 +3,13 @@
 // Usage:
 //
 //	ssserve [-addr :8080] [-topk 100] [-maxbody 33554432] [-seed 1]
+//	        [-metrics] [-pprof addr]
 //
-// Endpoints: GET /healthz, GET /v1/algorithms, POST /v1/factfind (see
-// internal/httpapi for the request schema). The server shuts down
-// gracefully on SIGINT/SIGTERM.
+// Endpoints: GET /healthz, GET /v1/algorithms, POST /v1/factfind, and
+// GET /metrics unless -metrics=false (see internal/httpapi for the
+// request schema). With -pprof, net/http/pprof handlers are served on a
+// separate listener so profiling is never exposed on the public address.
+// The server shuts down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
@@ -14,7 +17,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +35,24 @@ func main() {
 	}
 }
 
+// writeTimeoutSlack is the headroom added on top of the compute budget for
+// request decode, pipeline stages outside the estimator, and response
+// encoding. The write timeout must strictly dominate the compute budget:
+// if it did not, the server would cut the connection while the handler is
+// still entitled to compute, turning a graceful 503-with-partial-progress
+// into an empty reply.
+const writeTimeoutSlack = 30 * time.Second
+
+// writeTimeout derives the server's WriteTimeout from the per-request
+// compute budget: zero budget (unlimited compute) means no write timeout,
+// otherwise budget plus slack.
+func writeTimeout(computeBudget time.Duration) time.Duration {
+	if computeBudget <= 0 {
+		return 0
+	}
+	return computeBudget + writeTimeoutSlack
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("ssserve", flag.ContinueOnError)
 	var (
@@ -37,26 +60,31 @@ func run(args []string) error {
 		topK       = fs.Int("topk", 100, "default ranked output size")
 		maxBody    = fs.Int64("maxbody", 32<<20, "maximum request body bytes")
 		seed       = fs.Int64("seed", 1, "estimator seed")
-		computeTmo = fs.Duration("compute-timeout", 0, "per-request compute budget (0 = unlimited); exceeding it returns 503 with partial progress")
+		computeTmo = fs.Duration("compute-timeout", 0, "per-request compute budget (0 = unlimited); exceeding it returns 503 with partial progress; also sets the server write timeout to budget+30s (0 = no write timeout)")
 		workers    = fs.Int("workers", 1, "per-request estimator parallelism; results are identical at any value, 0 = GOMAXPROCS")
+		metrics    = fs.Bool("metrics", true, "serve GET /metrics (Prometheus text exposition)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	handler := httpapi.New(httpapi.Options{
 		MaxBodyBytes:   *maxBody,
 		DefaultTopK:    *topK,
 		Seed:           *seed,
 		ComputeTimeout: *computeTmo,
 		Workers:        *workers,
+		DisableMetrics: !*metrics,
+		Logger:         logger,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
-		WriteTimeout:      5 * time.Minute, // large archives take a while
+		WriteTimeout:      writeTimeout(*computeTmo),
 		IdleTimeout:       time.Minute,
 	}
 
@@ -69,6 +97,23 @@ func run(args []string) error {
 		errCh <- srv.ListenAndServe()
 	}()
 
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pprofSrv = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			fmt.Fprintln(os.Stderr, "ssserve: pprof on", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				// Profiling is auxiliary: losing it should not take the
+				// service down, but the operator needs to know.
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
+
 	select {
 	case err := <-errCh:
 		if errors.Is(err, http.ErrServerClosed) {
@@ -78,10 +123,26 @@ func run(args []string) error {
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
+		if pprofSrv != nil {
+			_ = pprofSrv.Shutdown(shutdownCtx)
+		}
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
 		<-errCh // wait for ListenAndServe to return
 		return nil
 	}
+}
+
+// pprofMux builds a dedicated mux for the profiling endpoints rather than
+// importing net/http/pprof for its DefaultServeMux side effect, which
+// would silently expose profiling on the main handler too.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

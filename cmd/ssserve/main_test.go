@@ -2,6 +2,7 @@ package main
 
 import (
 	"testing"
+	"time"
 )
 
 func TestRejectsBadFlags(t *testing.T) {
@@ -15,5 +16,24 @@ func TestListenErrorSurfaces(t *testing.T) {
 	// rather than hang.
 	if err := run([]string{"-addr", "256.256.256.256:1"}); err == nil {
 		t.Fatal("unbindable address accepted")
+	}
+}
+
+// TestWriteTimeout: the write timeout must strictly dominate the compute
+// budget so the server never cuts a connection the handler is still
+// entitled to use, and an unlimited budget means an unlimited write.
+func TestWriteTimeout(t *testing.T) {
+	cases := []struct {
+		budget, want time.Duration
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Second, time.Second + writeTimeoutSlack},
+		{10 * time.Minute, 10*time.Minute + writeTimeoutSlack},
+	}
+	for _, c := range cases {
+		if got := writeTimeout(c.budget); got != c.want {
+			t.Errorf("writeTimeout(%v) = %v, want %v", c.budget, got, c.want)
+		}
 	}
 }

@@ -20,6 +20,7 @@ var Deterministic = map[string]bool{
 	"depsense/internal/claims":   true,
 	"depsense/internal/model":    true,
 	"depsense/internal/stream":   true,
+	"depsense/internal/obs":      true,
 }
 
 // Estimator lists the packages that run open-ended iteration (EM rounds,
@@ -65,4 +66,7 @@ var Clocked = map[string]bool{
 	"depsense/internal/eval":      true,
 	"depsense/internal/report":    true,
 	"depsense/internal/stream":    true,
+	"depsense/internal/obs":       true,
+	"depsense/internal/apollo":    true,
+	"depsense/internal/httpapi":   true,
 }

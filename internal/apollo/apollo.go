@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"depsense/internal/claims"
 	"depsense/internal/cluster"
@@ -48,6 +49,21 @@ type Options struct {
 	// TopK is the size of the ranked output (default 100, the paper's
 	// evaluation cut-off).
 	TopK int
+	// Clock supplies the timestamps behind Output.Stages; nil means the
+	// wall clock. Injected (rather than read directly) so pipeline timing
+	// stays testable and the package honors the repository's clocked-zone
+	// lint contract.
+	Clock func() time.Time
+}
+
+// StageTiming is the measured duration of one pipeline stage.
+type StageTiming struct {
+	// Stage is the stage name: "ingest" (tokenization), "cluster"
+	// (assertion extraction), "build" (source-claim matrix + dependency
+	// indicators), "fit" (fact-finding), or "rank".
+	Stage string
+	// Duration is the stage's wall-clock (or injected-clock) cost.
+	Duration time.Duration
 }
 
 // Output is the pipeline result.
@@ -63,6 +79,9 @@ type Output struct {
 	Result *factfind.Result
 	// Ranked is the TopK assertion ids by decreasing credibility.
 	Ranked []int
+	// Stages holds per-stage timings in execution order (ingest, cluster,
+	// build, fit, rank). A run cut short carries the stages it completed.
+	Stages []StageTiming
 }
 
 // Errors returned by the pipeline.
@@ -105,6 +124,17 @@ func RunContext(ctx context.Context, in Input, finder factfind.FactFinder, opts 
 	if clusterer == nil {
 		clusterer = &cluster.Leader{}
 	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	var stages []StageTiming
+	mark := clock()
+	stageDone := func(name string) {
+		now := clock()
+		stages = append(stages, StageTiming{Stage: name, Duration: now.Sub(mark)})
+		mark = now
+	}
 
 	// Stage 1: assertion extraction.
 	if err := runctx.Err(ctx); err != nil {
@@ -114,7 +144,9 @@ func RunContext(ctx context.Context, in Input, finder factfind.FactFinder, opts 
 	for i, msg := range in.Messages {
 		docs[i] = cluster.Tokenize(msg.Text)
 	}
+	stageDone("ingest")
 	assign := clusterer.Cluster(docs)
+	stageDone("cluster")
 
 	// Stage 2: source-claim matrix + dependency indicators from timing and
 	// the follow graph.
@@ -132,6 +164,7 @@ func RunContext(ctx context.Context, in Input, finder factfind.FactFinder, opts 
 	if err != nil {
 		return nil, fmt.Errorf("apollo: build dataset: %w", err)
 	}
+	stageDone("build")
 
 	// Stage 3: fact-finding.
 	reps := make([]string, assign.NumClusters)
@@ -139,12 +172,14 @@ func RunContext(ctx context.Context, in Input, finder factfind.FactFinder, opts 
 		reps[c] = in.Messages[leader].Text
 	}
 	res, err := finder.RunContext(ctx, ds)
+	stageDone("fit")
 	if err != nil {
 		out := &Output{
 			Dataset:            ds,
 			MessageAssertion:   assign.Cluster,
 			RepresentativeText: reps,
 			Result:             res,
+			Stages:             stages,
 		}
 		if runctx.Reason(err) != "" {
 			// Cancellation mid-run: surface the partial output with the
@@ -153,11 +188,14 @@ func RunContext(ctx context.Context, in Input, finder factfind.FactFinder, opts 
 		}
 		return out, fmt.Errorf("apollo: %s: %w", finder.Name(), err)
 	}
+	ranked := res.TopK(topK)
+	stageDone("rank")
 	return &Output{
 		Dataset:            ds,
 		MessageAssertion:   assign.Cluster,
 		RepresentativeText: reps,
 		Result:             res,
-		Ranked:             res.TopK(topK),
+		Ranked:             ranked,
+		Stages:             stages,
 	}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"depsense/internal/baselines"
 	"depsense/internal/claims"
@@ -150,5 +151,52 @@ func (f failingFinder) RunContext(context.Context, *claims.Dataset) (*factfind.R
 func TestPipelinePropagatesFinderErrors(t *testing.T) {
 	if _, err := Run(smallInput(), failingFinder{}, Options{}); err == nil {
 		t.Fatal("finder error swallowed")
+	}
+}
+
+// TestStageTimings: the injected clock drives per-stage timing, so each of
+// the five pipeline stages reports exactly one clock step, in execution
+// order.
+func TestStageTimings(t *testing.T) {
+	now := time.Unix(0, 0)
+	step := 100 * time.Millisecond
+	out, err := Run(smallInput(), &baselines.Voting{}, Options{
+		TopK: 10,
+		Clock: func() time.Time {
+			now = now.Add(step)
+			return now
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ingest", "cluster", "build", "fit", "rank"}
+	if len(out.Stages) != len(want) {
+		t.Fatalf("stages = %+v, want %v", out.Stages, want)
+	}
+	for i, st := range out.Stages {
+		if st.Stage != want[i] {
+			t.Fatalf("stage %d = %q, want %q", i, st.Stage, want[i])
+		}
+		if st.Duration != step {
+			t.Fatalf("stage %q duration = %v, want %v", st.Stage, st.Duration, step)
+		}
+	}
+}
+
+// TestStageTimingsDefaultClock: without an injected clock the pipeline
+// still reports all five stages with non-negative durations.
+func TestStageTimingsDefaultClock(t *testing.T) {
+	out, err := Run(smallInput(), &baselines.Voting{}, Options{TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Stages) != 5 {
+		t.Fatalf("stages = %+v", out.Stages)
+	}
+	for _, st := range out.Stages {
+		if st.Duration < 0 {
+			t.Fatalf("negative stage duration: %+v", st)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"depsense/internal/claims"
 	"depsense/internal/factfind"
@@ -46,6 +47,8 @@ func DependentPairsPerSource(ds *claims.Dataset) float64 {
 // posteriors, and re-score every assertion with one dependency-aware
 // E-step. See DepMode for why the joint fit is not used here.
 func runPlugin(ctx context.Context, ds *claims.Dataset, opts Options) (*factfind.Result, error) {
+	hook := runctx.HookFrom(ctx)
+	start := time.Now() //lint:allow seedsource wall-clock timing for the observability hook Elapsed field, not part of results
 	coarseOpts := opts
 	coarseOpts.InitMode = InitVote
 	coarse, err := RunCtx(ctx, ds, VariantSocial, coarseOpts)
@@ -73,6 +76,15 @@ func runPlugin(ctx context.Context, ds *claims.Dataset, opts Options) (*factfind
 	if err != nil {
 		return nil, err
 	}
+	// The plug-in re-score is the run's last unit of work and counts
+	// toward Iterations; fire it through the hook so observers (progress
+	// printers, metrics exporters) see the same totals the Result reports,
+	// under the variant the caller asked for.
+	hook.Emit(runctx.Iteration{
+		Algorithm: VariantExt.String(), N: coarse.Iterations + 1,
+		LogLikelihood: ll, Elapsed: time.Since(start),
+		Done: true, Stopped: coarse.Stopped,
+	})
 	return &factfind.Result{
 		Posterior:     post,
 		Params:        params,

@@ -8,6 +8,14 @@
 //	GET  /healthz        — liveness probe
 //	GET  /v1/algorithms  — the available fact-finder names
 //	POST /v1/factfind    — run the pipeline; see Request/Response
+//	GET  /metrics        — Prometheus text exposition (unless disabled)
+//
+// Every endpoint runs behind the request middleware: per-endpoint
+// request/status counters, latency histograms, an in-flight gauge, and
+// request-id-tagged slog access logs. /v1/factfind additionally attaches an
+// obs.HookExporter to the request context, so estimator iteration records
+// (EM iterations, heuristic rounds) land in the same registry the /metrics
+// endpoint serves.
 package httpapi
 
 import (
@@ -15,8 +23,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"depsense/internal/apollo"
@@ -24,6 +35,7 @@ import (
 	"depsense/internal/core"
 	"depsense/internal/depgraph"
 	"depsense/internal/factfind"
+	"depsense/internal/obs"
 	"depsense/internal/runctx"
 	"depsense/internal/tweetjson"
 )
@@ -45,12 +57,28 @@ type Options struct {
 	// fan-out). Results are bit-for-bit identical at any value; 0 or 1 runs
 	// serial.
 	Workers int
+	// Metrics receives the server's telemetry and backs the /metrics
+	// endpoint; nil creates a private registry (retrievable with
+	// Server.Metrics).
+	Metrics *obs.Registry
+	// DisableMetrics removes the /metrics endpoint. Telemetry is still
+	// recorded into the registry for programmatic access.
+	DisableMetrics bool
+	// Logger receives request-id-tagged access logs; nil discards them.
+	Logger *slog.Logger
+	// Clock supplies request/latency timestamps; nil means the wall
+	// clock. Injected so middleware accounting is testable.
+	Clock func() time.Time
 }
 
 // Server is the HTTP facade over the Apollo pipeline.
 type Server struct {
-	opts Options
-	mux  *http.ServeMux
+	opts      Options
+	mux       *http.ServeMux
+	reg       *obs.Registry
+	log       *slog.Logger
+	clock     func() time.Time
+	nextReqID atomic.Uint64
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -63,12 +91,31 @@ func New(opts Options) *Server {
 	if opts.DefaultTopK <= 0 {
 		opts.DefaultTopK = 100
 	}
-	s := &Server{opts: opts, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
-	s.mux.HandleFunc("/v1/factfind", s.handleFactFind)
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &Server{opts: opts, mux: http.NewServeMux(), reg: reg, log: log, clock: clock}
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/v1/algorithms", s.instrument("/v1/algorithms", s.handleAlgorithms))
+	s.mux.HandleFunc("/v1/factfind", s.instrument("/v1/factfind", s.handleFactFind))
+	if !opts.DisableMetrics {
+		s.mux.HandleFunc("/metrics", s.instrument("/metrics", reg.Handler().ServeHTTP))
+	}
 	return s
 }
+
+// Metrics returns the server's registry, for callers that want to render or
+// extend it themselves (ssserve, tests).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -138,6 +185,10 @@ type apiError struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write([]byte(`{"status":"ok"}`))
 }
@@ -164,6 +215,15 @@ func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		// An oversized body is the client exceeding the configured limit,
+		// not a malformed payload: report 413 with the limit, not a
+		// generic 400.
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
@@ -188,11 +248,23 @@ func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.opts.ComputeTimeout)
 		defer cancel()
 	}
-	out, err := apollo.RunContext(ctx, in, finder, apollo.Options{TopK: topK})
+	// Estimator telemetry: one exporter per request feeds the shared
+	// registry, serialized so parallel compute paths (EM restart fan-out
+	// at Workers > 1) never fire it concurrently — counter values stay
+	// identical at any worker count.
+	ctx = runctx.WithHook(ctx, obs.HookExporter(s.reg))
+	ctx = runctx.WithSerializedHook(ctx)
+	out, err := apollo.RunContext(ctx, in, finder, apollo.Options{TopK: topK, Clock: s.clock})
+	if out != nil {
+		s.recordStages(out.Stages)
+	}
 	if err != nil {
 		if reason := runctx.Reason(err); reason != "" {
 			// Compute budget exhausted (or client gone) — report the
 			// partial progress, distinguished from estimator failure.
+			s.reg.Counter(MetricComputeExhausted,
+				"Factfind requests rejected with 503 because the compute budget ran out, by stop reason.",
+				obs.L("reason", reason)).Inc()
 			e := apiError{
 				Error:   fmt.Sprintf("compute budget exhausted (%s): %v", reason, err),
 				Stopped: reason,
@@ -222,8 +294,9 @@ func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
 		Stopped:    out.Result.Stopped,
 	}
 	for _, c := range out.Ranked {
+		claimants := out.Dataset.Claimants(c)
 		dep := 0
-		for _, cl := range out.Dataset.Claimants(c) {
+		for _, cl := range claimants {
 			if cl.Dependent {
 				dep++
 			}
@@ -232,7 +305,7 @@ func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
 			Assertion: c,
 			Posterior: out.Result.Posterior[c],
 			Text:      out.RepresentativeText[c],
-			Claims:    len(out.Dataset.Claimants(c)),
+			Claims:    len(claimants),
 			Dependent: dep,
 		})
 	}

@@ -183,6 +183,9 @@ func TestFactFindErrors(t *testing.T) {
 	}
 }
 
+// TestBodyLimit: a body over the configured MaxBodyBytes is the client's
+// size problem, not a malformed payload — 413 with a message naming the
+// limit, distinct from the 400 decode error.
 func TestBodyLimit(t *testing.T) {
 	ts := httptest.NewServer(New(Options{MaxBodyBytes: 64}))
 	defer ts.Close()
@@ -191,9 +194,32 @@ func TestBodyLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize status %d, want 413", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "64-byte limit") {
+		t.Fatalf("413 error %q does not name the limit", e.Error)
+	}
+}
+
+// TestHealthzMethod: /healthz is GET-only like every other endpoint.
+func TestHealthzMethod(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/healthz", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversize status %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz status %d, want 405", resp.StatusCode)
 	}
 }
 

@@ -1,0 +1,90 @@
+package httpapi
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+
+	"depsense/internal/apollo"
+	"depsense/internal/obs"
+)
+
+// Metric names recorded by the server (the estimator-level names live in
+// internal/obs, the stream-level names in internal/stream; DESIGN.md §10
+// has the full catalog).
+const (
+	// MetricRequests counts requests by endpoint and status code.
+	MetricRequests = "depsense_http_requests_total"
+	// MetricRequestSeconds is the request-latency histogram by endpoint.
+	MetricRequestSeconds = "depsense_http_request_duration_seconds"
+	// MetricInFlight gauges the requests currently being served.
+	MetricInFlight = "depsense_http_in_flight_requests"
+	// MetricStageSeconds is the pipeline per-stage duration histogram
+	// (ingest / cluster / build / fit / rank).
+	MetricStageSeconds = "depsense_pipeline_stage_duration_seconds"
+	// MetricComputeExhausted counts /v1/factfind requests that returned
+	// 503 because the compute budget ran out (or the client vanished),
+	// labeled by the stop reason ("deadline" / "cancelled"). Unlike the
+	// estimator-level obs.MetricRuns, this fires even when the budget
+	// expired before the estimator started.
+	MetricComputeExhausted = "depsense_http_compute_exhausted_total"
+)
+
+// statusRecorder captures the status code and body size a handler writes,
+// defaulting to 200 when the handler never calls WriteHeader explicitly.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with the request middleware: per-endpoint
+// request/status counters, a latency histogram, the in-flight gauge, and a
+// request-id-tagged access log line. The endpoint label is the registered
+// route, never the raw URL, so label cardinality stays bounded.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.nextReqID.Add(1)
+		start := s.clock()
+		inFlight := s.reg.Gauge(MetricInFlight, "Requests currently being served.")
+		inFlight.Inc()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		inFlight.Dec()
+		elapsed := s.clock().Sub(start)
+
+		s.reg.Counter(MetricRequests, "HTTP requests by endpoint and status code.",
+			obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(rec.status))).Inc()
+		s.reg.Histogram(MetricRequestSeconds, "HTTP request latency in seconds by endpoint.",
+			nil, obs.L("endpoint", endpoint)).Observe(elapsed.Seconds())
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.Uint64("id", id),
+			slog.String("method", r.Method),
+			slog.String("endpoint", endpoint),
+			slog.Int("status", rec.status),
+			slog.Int64("bytes", rec.bytes),
+			slog.Duration("elapsed", elapsed),
+		)
+	}
+}
+
+// recordStages exports the pipeline's per-stage timings; partial runs
+// carry only the stages they completed.
+func (s *Server) recordStages(stages []apollo.StageTiming) {
+	for _, st := range stages {
+		s.reg.Histogram(MetricStageSeconds,
+			"Pipeline per-stage duration in seconds (ingest, cluster, build, fit, rank).",
+			nil, obs.L("stage", st.Stage)).Observe(st.Duration.Seconds())
+	}
+}

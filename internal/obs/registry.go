@@ -1,0 +1,334 @@
+// Package obs is the serving stack's observability layer: a concurrent-safe
+// metrics registry (counters, gauges, fixed-bucket histograms) that renders
+// the Prometheus text exposition format, plus a HookExporter that adapts a
+// Registry into a runctx.Hook so every estimator's iteration records (EM-Ext
+// iterations of Algorithm 2, Gibbs sweep checkpoints of Algorithm 1,
+// exact-bound enumeration blocks of Eq. 3) land in scrapeable metrics.
+//
+// The package is stdlib-only and deliberately tiny compared to a Prometheus
+// client library: metric handles are looked up by (name, labels) on each
+// use, families materialize on first touch, and rendering is deterministic —
+// families sorted by name, series sorted by label signature — so /metrics
+// output is stable byte-for-byte for the same underlying values (the same
+// contract the rest of the repository holds for estimator outputs).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair attached to a metric series. Label names
+// must match the Prometheus grammar; values are escaped at render time.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// DefBuckets is the default histogram bucket layout (seconds), the standard
+// latency spread from 1ms to 10s.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// kind discriminates metric families.
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds metric families and hands out series handles. The zero
+// value is not usable; construct with NewRegistry. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	buckets []float64 // histogramKind only
+	series  map[string]*series
+}
+
+// series is one (family, labels) time series. Counters and gauges use val;
+// histograms use counts/sum/count. A single mutex per series keeps updates
+// race-free without the registry lock.
+type series struct {
+	mu     sync.Mutex
+	labels string // canonical `a="b",c="d"` signature, "" for none
+	val    float64
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// Counter is a monotonically increasing metric handle.
+type Counter struct{ s *series }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas panic (counters are monotone).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic(fmt.Sprintf("obs: counter add of negative value %v", v))
+	}
+	c.s.mu.Lock()
+	c.s.val += v
+	c.s.mu.Unlock()
+}
+
+// Value reads the current count.
+func (c *Counter) Value() float64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.s.val
+}
+
+// Gauge is a metric handle that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.s.mu.Lock()
+	g.s.val = v
+	g.s.mu.Unlock()
+}
+
+// Add shifts the gauge by v (negative to decrease).
+func (g *Gauge) Add(v float64) {
+	g.s.mu.Lock()
+	g.s.val += v
+	g.s.mu.Unlock()
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reads the current gauge value.
+func (g *Gauge) Value() float64 {
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
+	return g.s.val
+}
+
+// Histogram is a fixed-bucket cumulative histogram handle.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.s.counts[i]++
+			break
+		}
+	}
+	h.s.count++
+	h.s.sum += v
+}
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() uint64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.count
+}
+
+// Sum reads the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.sum
+}
+
+// Counter returns the counter series for (name, labels), creating the
+// family (with help text) and series on first use. Registering the same
+// name as a different metric kind panics.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return &Counter{s: r.lookup(name, help, counterKind, nil, labels)}
+}
+
+// Gauge returns the gauge series for (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return &Gauge{s: r.lookup(name, help, gaugeKind, nil, labels)}
+}
+
+// Histogram returns the histogram series for (name, labels). Buckets are
+// upper bounds in increasing order; nil selects DefBuckets. The bucket
+// layout is fixed by the first registration; later calls may pass nil to
+// reuse it, but a different explicit layout panics.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	s := r.lookup(name, help, histogramKind, buckets, labels)
+	r.mu.Lock()
+	b := r.families[name].buckets
+	r.mu.Unlock()
+	return &Histogram{s: s, buckets: b}
+}
+
+// lookup finds or creates the (family, series) pair under the registry
+// lock. Contract violations — invalid names, kind mismatches, bucket
+// layout mismatches — panic: they are wiring bugs, not runtime conditions.
+func (r *Registry) lookup(name, help string, k kind, buckets []float64, labels []Label) *series {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Name, name))
+		}
+	}
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, series: make(map[string]*series)}
+		if k == histogramKind {
+			if !sort.Float64sAreSorted(buckets) || len(buckets) == 0 {
+				panic(fmt.Sprintf("obs: histogram %q buckets must be non-empty and increasing", name))
+			}
+			f.buckets = append([]float64(nil), buckets...)
+		}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, previously %s", name, k, f.kind))
+	}
+	if k == histogramKind && buckets != nil && !equalBuckets(buckets, f.buckets) && !equalBuckets(buckets, DefBuckets) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with a different bucket layout", name))
+	}
+	s := f.series[sig]
+	if s == nil {
+		s = &series{labels: sig}
+		if k == histogramKind {
+			s.counts = make([]uint64, len(f.buckets))
+		}
+		f.series[sig] = s
+	}
+	return s
+}
+
+func equalBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// labelSignature renders labels into the canonical signature used both as
+// the series map key and (verbatim) inside the exposition braces: names
+// sorted, values escaped.
+func labelSignature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition format's label escaping:
+// backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]* and is
+// not a reserved double-underscore name.
+func validLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exposition format byte-for-byte: family
+// ordering (sorted by name), series ordering (sorted by label signature),
+// label escaping, histogram bucket/sum/count lines, and value formatting.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_requests_total", "Requests.", L("endpoint", "/v1/factfind"), L("code", "200")).Add(3)
+	r.Counter("z_requests_total", "Requests.", L("endpoint", "/healthz"), L("code", "200")).Inc()
+	r.Gauge("a_in_flight", "In-flight requests.").Set(2)
+	r.Gauge("m_temperature", "Escaped label.", L("site", `quo"te\slash`+"\n")).Set(-1.5)
+	h := r.Histogram("h_latency_seconds", "Latency.", []float64{0.1, 1}, L("endpoint", "/v1/factfind"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	want := strings.Join([]string{
+		`# HELP a_in_flight In-flight requests.`,
+		`# TYPE a_in_flight gauge`,
+		`a_in_flight 2`,
+		`# HELP h_latency_seconds Latency.`,
+		`# TYPE h_latency_seconds histogram`,
+		`h_latency_seconds_bucket{endpoint="/v1/factfind",le="0.1"} 1`,
+		`h_latency_seconds_bucket{endpoint="/v1/factfind",le="1"} 2`,
+		`h_latency_seconds_bucket{endpoint="/v1/factfind",le="+Inf"} 3`,
+		`h_latency_seconds_sum{endpoint="/v1/factfind"} 5.55`,
+		`h_latency_seconds_count{endpoint="/v1/factfind"} 3`,
+		`# HELP m_temperature Escaped label.`,
+		`# TYPE m_temperature gauge`,
+		`m_temperature{site="quo\"te\\slash\n"} -1.5`,
+		`# HELP z_requests_total Requests.`,
+		`# TYPE z_requests_total counter`,
+		`z_requests_total{code="200",endpoint="/healthz"} 1`,
+		`z_requests_total{code="200",endpoint="/v1/factfind"} 3`,
+		``,
+	}, "\n")
+
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestRenderDeterministic: repeated renders of the same state are
+// byte-identical (sorted iteration everywhere, no map-order leakage).
+func TestRenderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, ep := range []string{"/b", "/a", "/c", "/z", "/m"} {
+		r.Counter("req_total", "Requests.", L("endpoint", ep)).Inc()
+	}
+	var first strings.Builder
+	if err := r.Render(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		var again strings.Builder
+		if err := r.Render(&again); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, again.String(), first.String())
+		}
+	}
+}
+
+// TestSameSeriesShared: two lookups of the same (name, labels) hit one
+// series regardless of label order.
+func TestSameSeriesShared(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "C.", L("x", "1"), L("y", "2"))
+	b := r.Counter("c_total", "C.", L("y", "2"), L("x", "1"))
+	a.Inc()
+	b.Add(2)
+	if got := a.Value(); got != 3 {
+		t.Fatalf("shared series value = %v, want 3", got)
+	}
+}
+
+// TestConcurrentUpdates exercises the registry from many goroutines; run
+// under -race this is the concurrency-safety test.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("conc_total", "C.", L("w", string(rune('a'+w%4)))).Inc()
+				r.Gauge("conc_gauge", "G.").Set(float64(i))
+				r.Histogram("conc_seconds", "H.", nil).Observe(float64(i) / per)
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.Render(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, lv := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("conc_total", "C.", L("w", lv)).Value()
+	}
+	if total != workers*per {
+		t.Fatalf("counter total = %v, want %d", total, workers*per)
+	}
+	if got := r.Histogram("conc_seconds", "H.", nil).Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestHandler: the registry handler is GET-only and serves the exposition
+// content type.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("one_total", "One.").Inc()
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "one_total 1") {
+		t.Fatalf("body missing metric:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status %d, want 405", rec.Code)
+	}
+}
+
+// TestContractViolationsPanic: wiring bugs fail loudly.
+func TestContractViolationsPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(r *Registry)
+	}{
+		{"bad metric name", func(r *Registry) { r.Counter("1bad", "X.") }},
+		{"bad label name", func(r *Registry) { r.Counter("ok_total", "X.", L("__bad", "v")) }},
+		{"kind mismatch", func(r *Registry) { r.Counter("k_total", "X."); r.Gauge("k_total", "X.") }},
+		{"negative counter add", func(r *Registry) { r.Counter("n_total", "X.").Add(-1) }},
+		{"bucket mismatch", func(r *Registry) {
+			r.Histogram("h_s", "X.", []float64{1, 2})
+			r.Histogram("h_s", "X.", []float64{3, 4})
+		}},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("u_s", "X.", []float64{2, 1}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.f(NewRegistry())
+		})
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"depsense/internal/mapsort"
+)
+
+// Render writes the registry in Prometheus text exposition format
+// (version 0.0.4). Output is deterministic: families are sorted by metric
+// name, series by label signature, and histogram buckets by upper bound —
+// the same registry state always renders the same bytes.
+func (r *Registry) Render(w io.Writer) error {
+	var b strings.Builder
+	// The registry lock covers the family/series maps for the whole render
+	// (lookups block during a scrape; series value updates do not — they
+	// take only the per-series mutex).
+	r.mu.Lock()
+	for _, name := range mapsort.Keys(r.families) {
+		r.families[name].render(&b)
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) render(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for _, sig := range mapsort.Keys(f.series) {
+		s := f.series[sig]
+		s.mu.Lock()
+		switch f.kind {
+		case counterKind, gaugeKind:
+			b.WriteString(f.name)
+			writeLabels(b, sig, "")
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.val))
+			b.WriteByte('\n')
+		case histogramKind:
+			cum := uint64(0)
+			for i, ub := range f.buckets {
+				cum += s.counts[i]
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(b, sig, `le="`+formatValue(ub)+`"`)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(cum, 10))
+				b.WriteByte('\n')
+			}
+			b.WriteString(f.name)
+			b.WriteString("_bucket")
+			writeLabels(b, sig, `le="+Inf"`)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(s.count, 10))
+			b.WriteByte('\n')
+			b.WriteString(f.name)
+			b.WriteString("_sum")
+			writeLabels(b, sig, "")
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.sum))
+			b.WriteByte('\n')
+			b.WriteString(f.name)
+			b.WriteString("_count")
+			writeLabels(b, sig, "")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(s.count, 10))
+			b.WriteByte('\n')
+		}
+		s.mu.Unlock()
+	}
+}
+
+// writeLabels emits `{sig,extra}` with either part optional; nothing when
+// both are empty.
+func writeLabels(b *strings.Builder, sig, extra string) {
+	if sig == "" && extra == "" {
+		return
+	}
+	b.WriteByte('{')
+	b.WriteString(sig)
+	if sig != "" && extra != "" {
+		b.WriteByte(',')
+	}
+	b.WriteString(extra)
+	b.WriteByte('}')
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trippable decimal, with the special IEEE values spelled
+// +Inf/-Inf/NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp applies the exposition format's HELP escaping: backslash and
+// newline (quotes are legal in help text).
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	var b strings.Builder
+	for _, r := range h {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Handler returns a GET-only http.Handler serving the rendered registry,
+// suitable for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "use GET", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Render(w)
+	})
+}

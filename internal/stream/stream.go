@@ -14,12 +14,24 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"depsense/internal/claims"
 	"depsense/internal/core"
 	"depsense/internal/depgraph"
 	"depsense/internal/factfind"
 	"depsense/internal/model"
+	"depsense/internal/obs"
+)
+
+// Metric names recorded into Options.Metrics, one catalog entry per series
+// (see DESIGN.md §10).
+const (
+	// MetricFits counts completed refits by mode ("cold" for the full
+	// first fit, "warm" for parameter-carrying refits).
+	MetricFits = "depsense_stream_fits_total"
+	// MetricFitSeconds is the refit-duration histogram by mode.
+	MetricFitSeconds = "depsense_stream_fit_duration_seconds"
 )
 
 // Options tunes the incremental estimator.
@@ -35,6 +47,14 @@ type Options struct {
 	// Streaming estimates are revised on the next batch anyway, so the
 	// cold fit's strict tolerance buys nothing but iterations here.
 	WarmTol float64
+	// Metrics, when set, receives fit telemetry: MetricFits counters and
+	// MetricFitSeconds histograms labeled mode="cold"/"warm". Nil records
+	// nothing.
+	Metrics *obs.Registry
+	// Clock supplies the fit-duration timestamps; nil means the wall
+	// clock. Injected so the package honors the clocked-zone lint
+	// contract and fit durations are testable.
+	Clock func() time.Time
 }
 
 // Estimator accumulates a claim stream and maintains truth estimates.
@@ -45,10 +65,13 @@ type Estimator struct {
 	numSrc    int
 	numAssert int
 
-	params *model.Params // warm-start parameters from the last fit
-	last   *factfind.Result
-	lastDS *claims.Dataset
-	fits   int
+	params   *model.Params // warm-start parameters from the last fit
+	last     *factfind.Result
+	lastDS   *claims.Dataset
+	fits     int
+	warmFits int
+	coldFits int
+	clock    func() time.Time
 }
 
 // New creates an empty streaming estimator.
@@ -59,7 +82,11 @@ func New(opts Options) *Estimator {
 	if opts.WarmTol <= 0 {
 		opts.WarmTol = 1e-3
 	}
-	return &Estimator{opts: opts, graph: depgraph.NewGraph(0)}
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Estimator{opts: opts, graph: depgraph.NewGraph(0), clock: clock}
 }
 
 // Errors returned by the estimator.
@@ -84,46 +111,82 @@ func (e *Estimator) AddBatch(batch []depgraph.Event) (*factfind.Result, error) {
 }
 
 // AddBatchContext ingests a batch of claims and refits the estimator under
-// ctx. Cancelling mid-refit keeps the estimator's previous state: the batch
+// ctx. Batch ingestion is atomic: the whole batch is validated before
+// anything is mutated, so a rejected batch leaves the estimator's state —
+// events, id spaces, follow graph, warm-start parameters — exactly as it
+// was, and the caller can fix and resubmit. (Appending events one-by-one
+// before validating the rest used to leave a half-ingested batch behind a
+// mid-batch error, silently corrupting every later fit.)
+//
+// Cancelling mid-refit keeps the estimator's previous estimate: the batch
 // is still ingested (the events are recorded and the id spaces grown), but
 // the warm-start parameters and latest estimate stay those of the last
 // completed fit, so the next AddBatch refits over all accumulated events.
 func (e *Estimator) AddBatchContext(ctx context.Context, batch []depgraph.Event) (*factfind.Result, error) {
+	// Validate the full batch before mutating any estimator state.
+	maxSrc, maxAssert := -1, -1
 	for _, ev := range batch {
 		if ev.Source < 0 || ev.Assertion < 0 {
 			return nil, fmt.Errorf("%w: %+v", ErrBadEvent, ev)
 		}
-		e.growSources(ev.Source + 1)
-		if ev.Assertion >= e.numAssert {
-			e.numAssert = ev.Assertion + 1
+		if ev.Source > maxSrc {
+			maxSrc = ev.Source
 		}
-		e.events = append(e.events, ev)
+		if ev.Assertion > maxAssert {
+			maxAssert = ev.Assertion
+		}
 	}
-	if len(e.events) == 0 {
+	if len(e.events)+len(batch) == 0 {
 		return nil, ErrNoData
 	}
+	e.growSources(maxSrc + 1)
+	if maxAssert >= e.numAssert {
+		e.numAssert = maxAssert + 1
+	}
+	e.events = append(e.events, batch...)
 	ds, err := depgraph.BuildDataset(e.graph, e.events, e.numAssert)
 	if err != nil {
 		return nil, err
 	}
 
 	opts := e.opts.EM
-	if e.params != nil && e.params.NumSources() == ds.N() {
+	warm := e.params != nil && e.params.NumSources() == ds.N()
+	if warm {
 		opts.Init = e.params
 		opts.MaxIters = e.opts.WarmMaxIters
 		opts.Tol = e.opts.WarmTol
 	}
+	start := e.clock()
 	res, err := core.RunCtx(ctx, ds, core.VariantExt, opts)
 	if err != nil {
 		// On cancellation res carries the partial fit; surface it to the
 		// caller but do not install it as the warm-start state.
 		return res, err
 	}
+	e.recordFit(warm, e.clock().Sub(start))
 	e.params = res.Params.Clone()
 	e.last = res
 	e.lastDS = ds
 	e.fits++
 	return res, nil
+}
+
+// recordFit tracks warm/cold fit counts and, when a registry is attached,
+// exports the fit telemetry.
+func (e *Estimator) recordFit(warm bool, d time.Duration) {
+	mode := "cold"
+	if warm {
+		mode = "warm"
+		e.warmFits++
+	} else {
+		e.coldFits++
+	}
+	if reg := e.opts.Metrics; reg != nil {
+		reg.Counter(MetricFits, "Completed stream refits by mode (cold first fit vs warm-started refit).",
+			obs.L("mode", mode)).Inc()
+		reg.Histogram(MetricFitSeconds, "Stream refit duration in seconds by mode.",
+			nil, obs.L("mode", mode)).Observe(d.Seconds())
+	}
 }
 
 // growSources extends the id space and carries prior parameter estimates
@@ -174,15 +237,21 @@ type Stats struct {
 	Assertions int
 	Claims     int
 	Fits       int
+	// WarmFits counts the refits that warm-started from the previous
+	// batch's parameters; ColdFits the full fits. They sum to Fits.
+	WarmFits int
+	ColdFits int
 }
 
-// Stats reports the accumulated stream size and fit count.
+// Stats reports the accumulated stream size and fit counts.
 func (e *Estimator) Stats() Stats {
 	return Stats{
 		Sources:    e.numSrc,
 		Assertions: e.numAssert,
 		Claims:     len(e.events),
 		Fits:       e.fits,
+		WarmFits:   e.warmFits,
+		ColdFits:   e.coldFits,
 	}
 }
 

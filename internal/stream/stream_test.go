@@ -2,11 +2,14 @@ package stream
 
 import (
 	"errors"
+	"reflect"
 	"testing"
+	"time"
 
 	"depsense/internal/claims"
 	"depsense/internal/core"
 	"depsense/internal/depgraph"
+	"depsense/internal/obs"
 	"depsense/internal/randutil"
 	"depsense/internal/stats"
 	"depsense/internal/synthetic"
@@ -32,6 +35,108 @@ func TestBadEventsRejected(t *testing.T) {
 	}
 	if err := e.ObserveFollow(-1, 0); !errors.Is(err, ErrBadEvent) {
 		t.Fatalf("want ErrBadEvent, got %v", err)
+	}
+}
+
+// TestRejectedBatchLeavesStateUnchanged is the batch-atomicity regression
+// test: a batch with one invalid event mid-batch must leave every piece of
+// estimator state — events, id spaces, follow graph, warm-start parameters,
+// latest result — bit-for-bit as it was. (The pre-fix code appended and
+// grew per event before validating the rest, so the valid prefix leaked in.)
+func TestRejectedBatchLeavesStateUnchanged(t *testing.T) {
+	e := New(Options{EM: core.Options{Seed: 3}})
+	if err := e.ObserveFollow(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddBatch([]depgraph.Event{
+		{Source: 0, Assertion: 0, Time: 1},
+		{Source: 1, Assertion: 0, Time: 2},
+		{Source: 2, Assertion: 1, Time: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	wantStats := e.Stats()
+	wantEvents := append([]depgraph.Event(nil), e.events...)
+	wantParams := e.params.Clone()
+	wantLast, wantDS := e.last, e.lastDS
+	wantGraphN := e.graph.N()
+
+	// Valid prefix, invalid event mid-batch, valid suffix with ids that
+	// would grow both id spaces if ingested.
+	_, err := e.AddBatch([]depgraph.Event{
+		{Source: 7, Assertion: 5, Time: 4},
+		{Source: -1, Assertion: 0, Time: 5},
+		{Source: 9, Assertion: 8, Time: 6},
+	})
+	if !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("want ErrBadEvent, got %v", err)
+	}
+
+	if got := e.Stats(); got != wantStats {
+		t.Fatalf("stats changed after rejected batch: %+v, want %+v", got, wantStats)
+	}
+	if !reflect.DeepEqual(e.events, wantEvents) {
+		t.Fatalf("events changed after rejected batch: %+v, want %+v", e.events, wantEvents)
+	}
+	if !reflect.DeepEqual(e.params, wantParams) {
+		t.Fatal("warm-start parameters changed after rejected batch")
+	}
+	if e.last != wantLast || e.lastDS != wantDS {
+		t.Fatal("latest result/dataset replaced after rejected batch")
+	}
+	if e.graph.N() != wantGraphN {
+		t.Fatalf("graph grew to %d sources after rejected batch, want %d", e.graph.N(), wantGraphN)
+	}
+
+	// The estimator still works: resubmitting the fixed batch succeeds and
+	// ingests all of it.
+	if _, err := e.AddBatch([]depgraph.Event{
+		{Source: 7, Assertion: 5, Time: 4},
+		{Source: 9, Assertion: 8, Time: 6},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats(); got.Sources != 10 || got.Assertions != 9 || got.Claims != 5 {
+		t.Fatalf("post-fix stats = %+v", got)
+	}
+}
+
+// TestFitTelemetry: warm/cold fit counts land in Stats and, through the
+// injected clock, exact fit durations land in the attached registry.
+func TestFitTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	now := time.Unix(0, 0)
+	clock := func() time.Time {
+		now = now.Add(250 * time.Millisecond) // each clock read advances 250ms
+		return now
+	}
+	e := New(Options{EM: core.Options{Seed: 5}, Metrics: reg, Clock: clock})
+	if _, err := e.AddBatch([]depgraph.Event{
+		{Source: 0, Assertion: 0, Time: 1},
+		{Source: 1, Assertion: 1, Time: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddBatch([]depgraph.Event{
+		{Source: 1, Assertion: 0, Time: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	st := e.Stats()
+	if st.Fits != 2 || st.ColdFits != 1 || st.WarmFits != 1 {
+		t.Fatalf("fit stats = %+v", st)
+	}
+	for _, mode := range []string{"cold", "warm"} {
+		if got := reg.Counter(MetricFits, "", obs.L("mode", mode)).Value(); got != 1 {
+			t.Fatalf("fits{mode=%q} = %v, want 1", mode, got)
+		}
+		h := reg.Histogram(MetricFitSeconds, "", nil, obs.L("mode", mode))
+		// Each fit spans exactly one 250ms clock step.
+		if h.Count() != 1 || h.Sum() != 0.25 {
+			t.Fatalf("fit duration{mode=%q}: count=%d sum=%v, want 1/0.25", mode, h.Count(), h.Sum())
+		}
 	}
 }
 
