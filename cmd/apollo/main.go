@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	apollo -in tweets.json [-alg EM-Ext] [-topk 20] [-seed 1]
+//	apollo -in tweets.json [-alg EM-Ext] [-topk 20] [-seed 1] [-trace run.jsonl]
+//
+// With -trace, the run's full trace — pipeline stage timings, estimator
+// iteration events, and convergence diagnostics — is written as JSONL,
+// even when the run is interrupted; inspect it with sstrace.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"depsense/internal/grader"
 	reportpkg "depsense/internal/report"
 	"depsense/internal/runctx"
+	"depsense/internal/trace"
 	"depsense/internal/tweetjson"
 	"depsense/internal/twittersim"
 )
@@ -51,13 +56,14 @@ type tweetFile struct {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("apollo", flag.ContinueOnError)
 	var (
-		input   = fs.String("in", "", "input file (required)")
-		format  = fs.String("format", "sim", "input format: sim (ssgen tweet stream) or twitter-json (Twitter API v1.1 archive)")
-		alg     = fs.String("alg", "EM-Ext", "fact-finder: "+strings.Join(algNames(), ", "))
-		topK    = fs.Int("topk", 20, "ranked assertions to print")
-		report  = fs.String("report", "", "also write an HTML report to this file")
-		seed    = fs.Int64("seed", 1, "random seed")
-		workers = fs.Int("workers", 1, "estimator parallelism (EM block sharding and restart fan-out); results are identical at any value, 0 = GOMAXPROCS")
+		input    = fs.String("in", "", "input file (required)")
+		format   = fs.String("format", "sim", "input format: sim (ssgen tweet stream) or twitter-json (Twitter API v1.1 archive)")
+		alg      = fs.String("alg", "EM-Ext", "fact-finder: "+strings.Join(algNames(), ", "))
+		topK     = fs.Int("topk", 20, "ranked assertions to print")
+		report   = fs.String("report", "", "also write an HTML report to this file")
+		seed     = fs.Int64("seed", 1, "random seed")
+		workers  = fs.Int("workers", 1, "estimator parallelism (EM block sharding and restart fan-out); results are identical at any value, 0 = GOMAXPROCS")
+		traceOut = fs.String("trace", "", "write the run trace (stages, iteration events, convergence diagnostics) as JSONL to this file; inspect with sstrace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,7 +118,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("unknown -format %q", *format)
 	}
 
+	var tb *trace.Builder
+	if *traceOut != "" {
+		tb = trace.NewBuilder(*input, "apollo", nil)
+		tb.SetAttr("algorithm", finder.Name())
+		tb.SetAttr("seed", fmt.Sprint(*seed))
+		ctx = runctx.WithHook(ctx, tb.Hook())
+	}
 	pipe, err := apollo.RunContext(ctx, in, finder, apollo.Options{TopK: *topK})
+	if tb != nil {
+		// Interrupted and failed runs spill too: the trace is the
+		// post-mortem, so it must survive exactly the runs that need one.
+		if pipe != nil {
+			for _, st := range pipe.Stages {
+				tb.Stage(st.Stage, st.Duration)
+			}
+		}
+		status, msg := trace.StatusOf(err), ""
+		if err != nil {
+			msg = err.Error()
+		}
+		if werr := trace.WriteFile(*traceOut, tb.Finish(status, msg)); werr != nil {
+			if err == nil {
+				return fmt.Errorf("write trace: %w", werr)
+			}
+			fmt.Fprintln(os.Stderr, "apollo: write trace:", werr)
+		}
+	}
 	if err != nil {
 		if reason := runctx.Reason(err); reason != "" && pipe != nil && pipe.Result != nil {
 			// Interrupted mid-estimation: report how far the run got

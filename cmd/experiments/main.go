@@ -7,6 +7,12 @@
 //
 //	experiments [-exp all|table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table3|fig11|extdepth]
 //	            [-quick] [-seed N] [-runs N] [-estruns N] [-scale N] [-workers N] [-csv dir]
+//	            [-trace file.jsonl]
+//
+// With -trace, every estimator and Gibbs iteration fired across the
+// selected experiments is recorded into one trace (with convergence
+// diagnostics) and written as JSONL — even when the sweep is interrupted;
+// inspect it with sstrace.
 //
 // The special experiment id "benchpar" (never part of "all") measures the
 // wall-clock scaling of the parallel hot paths across worker counts and
@@ -27,6 +33,8 @@ import (
 
 	"depsense/internal/eval"
 	"depsense/internal/plot"
+	"depsense/internal/runctx"
+	"depsense/internal/trace"
 )
 
 func main() {
@@ -38,7 +46,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		exp      = fs.String("exp", "all", "experiment id: all, table1, fig3..fig11, table3, extdepth, extsybil")
@@ -51,6 +59,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		csvDir   = fs.String("csv", "", "also write each experiment's series as CSV into this directory")
 		svgDir   = fs.String("svg", "", "also render each figure as SVG into this directory")
 		benchOut = fs.String("benchout", "BENCH_parallel.json", "benchpar: write the speedup trajectory JSON to this path")
+		traceOut = fs.String("trace", "", "record every estimator iteration across the selected experiments and write the trace as JSONL to this file; inspect with sstrace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +81,28 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cfg.EmpiricalScale = *scale
 	}
 	cfg.Workers = *workers
+
+	if *traceOut != "" {
+		tb := trace.NewBuilder(*exp, "experiments", nil)
+		tb.SetAttr("exp", *exp)
+		tb.SetAttr("seed", fmt.Sprint(*seed))
+		cfg.Ctx = runctx.WithHook(cfg.Ctx, tb.Hook())
+		// Deferred so an interrupted sweep still leaves its post-mortem
+		// behind; the run error wins over a spill error.
+		defer func() {
+			status, msg := trace.StatusOf(err), ""
+			if err != nil {
+				msg = err.Error()
+			}
+			if werr := trace.WriteFile(*traceOut, tb.Finish(status, msg)); werr != nil {
+				if err == nil {
+					err = fmt.Errorf("write trace: %w", werr)
+				} else {
+					fmt.Fprintln(os.Stderr, "experiments: write trace:", werr)
+				}
+			}
+		}()
+	}
 
 	for _, dir := range []string{*csvDir, *svgDir} {
 		if dir != "" {

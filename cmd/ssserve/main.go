@@ -3,13 +3,17 @@
 // Usage:
 //
 //	ssserve [-addr :8080] [-topk 100] [-maxbody 33554432] [-seed 1]
-//	        [-metrics] [-pprof addr]
+//	        [-metrics] [-pprof addr] [-trace-buffer 64] [-trace-dir dir]
 //
-// Endpoints: GET /healthz, GET /v1/algorithms, POST /v1/factfind, and
-// GET /metrics unless -metrics=false (see internal/httpapi for the
-// request schema). With -pprof, net/http/pprof handlers are served on a
-// separate listener so profiling is never exposed on the public address.
-// The server shuts down gracefully on SIGINT/SIGTERM.
+// Endpoints: GET /healthz, GET /v1/algorithms, POST /v1/factfind,
+// GET /metrics unless -metrics=false, and the flight-recorder views
+// GET /debug/runs and GET /debug/runs/{id} (see internal/httpapi for the
+// request schema). -trace-buffer sizes the in-memory flight recorder;
+// -trace-dir additionally appends every finished run trace to
+// dir/traces.jsonl for offline analysis with sstrace. With -pprof,
+// net/http/pprof handlers are served on a separate listener so profiling
+// is never exposed on the public address. The server shuts down gracefully
+// on SIGINT/SIGTERM.
 package main
 
 import (
@@ -64,12 +68,21 @@ func run(args []string) error {
 		workers    = fs.Int("workers", 1, "per-request estimator parallelism; results are identical at any value, 0 = GOMAXPROCS")
 		metrics    = fs.Bool("metrics", true, "serve GET /metrics (Prometheus text exposition)")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		traceBuf   = fs.Int("trace-buffer", 64, "completed run traces retained by the flight recorder (failed runs get a separate quarter-sized ring); served at GET /debug/runs")
+		traceDir   = fs.String("trace-dir", "", "append every finished run trace to this directory's traces.jsonl (empty = no spill); read offline with sstrace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *traceDir != "" {
+		// Fail at startup, not on the first spilled trace: a typo'd spill
+		// directory should be an immediate, visible error.
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return fmt.Errorf("trace dir: %w", err)
+		}
+	}
 	handler := httpapi.New(httpapi.Options{
 		MaxBodyBytes:   *maxBody,
 		DefaultTopK:    *topK,
@@ -78,6 +91,8 @@ func run(args []string) error {
 		Workers:        *workers,
 		DisableMetrics: !*metrics,
 		Logger:         logger,
+		TraceBuffer:    *traceBuf,
+		TraceDir:       *traceDir,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,187 @@
+// Command sstrace inspects run traces recorded by the serving stack — the
+// TraceDir spill of ssserve, the -trace output of apollo and experiments,
+// or a trace saved from GET /debug/runs/{id} — entirely offline.
+//
+// Usage:
+//
+//	sstrace [-rhat 1.1] [-events N] [-check] file.jsonl [file2.jsonl ...]
+//
+// For every trace it prints the header (id, workload, status, attrs),
+// the pipeline stage timings, and each algorithm run's convergence
+// diagnostics: log-likelihood trajectory and monotonicity, plateau onset,
+// per-restart comparison, and the split-chain R-hat verdict for
+// multi-chain Gibbs runs. -events additionally prints the tail of each
+// run's iteration trajectory. Across all inputs it reports status and
+// stop-reason breakdowns. With -check, it exits non-zero when any trace
+// failed, any EM trajectory lost log-likelihood, or any multi-chain run
+// exceeds the R-hat threshold — the CI guard form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"depsense/internal/mapsort"
+	"depsense/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sstrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sstrace", flag.ContinueOnError)
+	var (
+		rhat   = fs.Float64("rhat", trace.RHatWarnThreshold, "R-hat threshold for the mixing verdict")
+		events = fs.Int("events", 0, "print the last N iteration events of every run (0 = diagnostics only)")
+		check  = fs.Bool("check", false, "exit non-zero on failed traces, log-likelihood decreases, or unmixed chains")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: sstrace [-rhat 1.1] [-events N] [-check] file.jsonl ...")
+	}
+
+	var traces []*trace.Trace
+	for _, path := range fs.Args() {
+		ts, err := trace.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		traces = append(traces, ts...)
+	}
+
+	var problems []string
+	byStatus := map[string]int{}
+	byStop := map[string]int{}
+	for _, t := range traces {
+		byStatus[t.Status]++
+		if t.Failed() {
+			problems = append(problems, fmt.Sprintf("trace %s: status %s", t.ID, t.Status))
+		}
+		printTrace(out, t, *rhat, *events, func(stop string) { byStop[stop]++ }, &problems)
+	}
+
+	fmt.Fprintf(out, "=== %d trace(s)", len(traces))
+	for _, k := range mapsort.Keys(byStatus) {
+		fmt.Fprintf(out, " %s=%d", k, byStatus[k])
+	}
+	if len(byStop) > 0 {
+		fmt.Fprint(out, " | stop reasons:")
+		for _, k := range mapsort.Keys(byStop) {
+			fmt.Fprintf(out, " %s=%d", k, byStop[k])
+		}
+	}
+	fmt.Fprintln(out)
+	if *check && len(problems) > 0 {
+		return fmt.Errorf("%d problem(s):\n  %s", len(problems), strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// printTrace renders one trace: header, stages, and per-run diagnostics.
+// countStop receives each run's stop reason for the cross-trace breakdown.
+func printTrace(out io.Writer, t *trace.Trace, rhatThreshold float64, tailEvents int, countStop func(string), problems *[]string) {
+	fmt.Fprintf(out, "trace %s (%s) status=%s events=%d duration=%s\n",
+		t.ID, t.Name, t.Status, t.Events(), time.Duration(t.DurationNS).Round(time.Microsecond))
+	if t.Error != "" {
+		fmt.Fprintf(out, "  error: %s\n", t.Error)
+	}
+	if len(t.Attrs) > 0 {
+		parts := make([]string, len(t.Attrs))
+		for i, a := range t.Attrs {
+			parts[i] = a.Key + "=" + a.Value
+		}
+		fmt.Fprintf(out, "  attrs: %s\n", strings.Join(parts, " "))
+	}
+	if len(t.Stages) > 0 {
+		parts := make([]string, len(t.Stages))
+		for i, s := range t.Stages {
+			parts[i] = fmt.Sprintf("%s=%s", s.Name, time.Duration(s.DurationNS).Round(time.Microsecond))
+		}
+		fmt.Fprintf(out, "  stages: %s\n", strings.Join(parts, " "))
+	}
+	// Old spills may predate the diagnostics layer (or carry a truncated
+	// record): re-diagnose offline.
+	diags := t.Diagnostics
+	if diags == nil || len(diags.Runs) != len(t.Runs) {
+		diags = trace.Diagnose(t)
+	}
+	for i, run := range t.Runs {
+		d := diags.Runs[i]
+		if d.Stopped != "" {
+			countStop(d.Stopped)
+		}
+		printRun(out, t.ID, run, d, rhatThreshold, tailEvents, problems)
+	}
+}
+
+func printRun(out io.Writer, traceID string, run *trace.Run, d trace.RunDiag, rhatThreshold float64, tailEvents int, problems *[]string) {
+	fmt.Fprintf(out, "  run %s: chains=%d iterations=%d", d.Algorithm, d.Chains, d.Iterations)
+	if d.Stopped != "" {
+		fmt.Fprintf(out, " stopped=%s", d.Stopped)
+	}
+	fmt.Fprintln(out)
+	if d.HasLL {
+		verdict := "monotone"
+		if !d.Monotone {
+			verdict = fmt.Sprintf("NOT MONOTONE: %d decrease(s), max %g", d.LLDecreases, d.MaxDecrease)
+			*problems = append(*problems,
+				fmt.Sprintf("trace %s run %s: log-likelihood decreased %d time(s)", traceID, d.Algorithm, d.LLDecreases))
+		}
+		fmt.Fprintf(out, "    log-likelihood %g -> %g, %s\n", d.LLFirst, d.LLLast, verdict)
+		if d.PlateauAt > 0 {
+			fmt.Fprintf(out, "    plateau from iteration %d of %d\n", d.PlateauAt, d.Iterations)
+		}
+	}
+	if d.HasRestarts {
+		fmt.Fprintf(out, "    restarts: best chain %d (ll=%g), spread %g\n",
+			d.RestartBestChain, d.RestartBestLL, d.RestartSpread)
+	}
+	if d.HasRHat {
+		if d.RHat <= rhatThreshold {
+			fmt.Fprintf(out, "    split R-hat %.4g <= %.4g: mixed\n", d.RHat, rhatThreshold)
+		} else {
+			fmt.Fprintf(out, "    split R-hat %.4g > %.4g: NOT MIXED\n", d.RHat, rhatThreshold)
+			*problems = append(*problems,
+				fmt.Sprintf("trace %s run %s: split R-hat %.4g exceeds %.4g", traceID, d.Algorithm, d.RHat, rhatThreshold))
+		}
+	}
+	if tailEvents > 0 {
+		evs := run.Events
+		if len(evs) > tailEvents {
+			fmt.Fprintf(out, "    ... %d earlier event(s)\n", len(evs)-tailEvents)
+			evs = evs[len(evs)-tailEvents:]
+		}
+		for _, e := range evs {
+			fmt.Fprint(out, "    ", formatEvent(e), "\n")
+		}
+	}
+}
+
+// formatEvent renders one iteration event compactly, omitting fields the
+// emitting layer did not report.
+func formatEvent(e trace.Event) string {
+	parts := []string{fmt.Sprintf("n=%d chain=%d", e.N, e.Chain)}
+	if e.HasLL {
+		parts = append(parts, fmt.Sprintf("ll=%g", e.LogLikelihood))
+	}
+	if e.HasValue {
+		parts = append(parts, fmt.Sprintf("value=%g", e.Value))
+	}
+	if e.Samples > 0 {
+		parts = append(parts, fmt.Sprintf("samples=%d", e.Samples))
+	}
+	if e.Done {
+		parts = append(parts, "done("+e.Stopped+")")
+	}
+	return strings.Join(parts, " ")
+}

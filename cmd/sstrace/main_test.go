@@ -1,0 +1,186 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"depsense/internal/runctx"
+	"depsense/internal/trace"
+)
+
+// testClock is a deterministic clock for builders (one ms per call).
+func testClock() func() time.Time {
+	base := time.Unix(1700000000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+// emTrace builds a healthy EM-style trace: monotone log-likelihood, two
+// restarts, converged.
+func emTrace(id string) *trace.Trace {
+	b := trace.NewBuilder(id, "apollo", testClock())
+	b.SetAttr("algorithm", "EM-Ext")
+	b.Stage("fit", 5*time.Millisecond)
+	hook := b.Hook()
+	for chain, lls := range [][]float64{{-90, -60, -50}, {-95, -70, -65}} {
+		for i, ll := range lls {
+			hook(runctx.Iteration{
+				Algorithm: "EM-Ext", N: i + 1, Chain: chain,
+				LogLikelihood: ll, HasLL: true,
+				Done: i == len(lls)-1, Stopped: runctx.StopConverged,
+			})
+		}
+	}
+	return b.Finish(trace.StatusOK, "")
+}
+
+// gibbsTrace builds a two-chain Gibbs-style trace whose chains sit at
+// different levels — guaranteed to fail the R-hat verdict.
+func gibbsTrace(id string) *trace.Trace {
+	b := trace.NewBuilder(id, "factfind", testClock())
+	hook := b.Hook()
+	// Exactly-representable values keep the %g renderings short.
+	for chain, level := range []float64{0.25, 0.5} {
+		for i := 0; i < 8; i++ {
+			v := level + 0.03125*float64(i%2)
+			hook(runctx.Iteration{
+				Algorithm: "gibbs-bound", N: i + 1, Chain: chain,
+				Value: v, HasValue: true, Samples: (i + 1) * 100,
+				Done: i == 7, Stopped: runctx.StopIterationCap,
+			})
+		}
+	}
+	return b.Finish(trace.StatusOK, "")
+}
+
+func writeTraces(t *testing.T, name string, traces ...*trace.Trace) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := trace.WriteFile(path, traces...); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRenderHealthyTrace(t *testing.T) {
+	path := writeTraces(t, "em.jsonl", emTrace("run-1"))
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"trace run-1 (apollo) status=ok",
+		"attrs: algorithm=EM-Ext",
+		"stages: fit=5ms",
+		"run EM-Ext: chains=2 iterations=3 stopped=converged",
+		"log-likelihood -90 -> -50, monotone",
+		"restarts: best chain 0 (ll=-50), spread 15",
+		"=== 1 trace(s) ok=1 | stop reasons: converged=1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRHatVerdictAndCheck(t *testing.T) {
+	path := writeTraces(t, "gibbs.jsonl", gibbsTrace("run-2"))
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "NOT MIXED") {
+		t.Fatalf("unmixed chains not flagged:\n%s", out.String())
+	}
+
+	// -check turns the verdict into a non-zero exit.
+	out.Reset()
+	err := run([]string{"-check", path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "split R-hat") {
+		t.Fatalf("-check err = %v", err)
+	}
+
+	// A generous threshold flips the verdict and silences -check.
+	out.Reset()
+	if err := run([]string{"-check", "-rhat", "1e7", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mixed") {
+		t.Fatalf("verdict not flipped at high threshold:\n%s", out.String())
+	}
+}
+
+func TestFailedTraceAndStopBreakdown(t *testing.T) {
+	b := trace.NewBuilder("run-3", "factfind", testClock())
+	failed := b.Finish(trace.StatusDeadline, "compute budget exhausted")
+	path := writeTraces(t, "mixed.jsonl", emTrace("run-1"), gibbsTrace("run-2"), failed)
+
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"trace run-3 (factfind) status=deadline",
+		"error: compute budget exhausted",
+		"=== 3 trace(s) deadline=1 ok=2 | stop reasons: converged=1 iteration-cap=1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	if err := run([]string{"-check", "-rhat", "1e7", path}, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "status deadline") {
+		t.Fatalf("-check did not flag the failed trace: %v", err)
+	}
+}
+
+func TestEventTail(t *testing.T) {
+	path := writeTraces(t, "gibbs.jsonl", gibbsTrace("run-2"))
+	var out strings.Builder
+	if err := run([]string{"-events", "2", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "... 14 earlier event(s)") {
+		t.Fatalf("tail header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "n=8 chain=1 value=0.53125 samples=800 done(iteration-cap)") {
+		t.Fatalf("event row missing:\n%s", got)
+	}
+}
+
+func TestNonMonotoneLLFlagged(t *testing.T) {
+	b := trace.NewBuilder("run-4", "apollo", testClock())
+	hook := b.Hook()
+	for i, ll := range []float64{-90, -60, -75, -55} {
+		hook(runctx.Iteration{Algorithm: "EM-Ext", N: i + 1, LogLikelihood: ll, HasLL: true})
+	}
+	path := writeTraces(t, "dip.jsonl", b.Finish(trace.StatusOK, ""))
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "NOT MONOTONE: 1 decrease(s), max 15") {
+		t.Fatalf("decrease not reported:\n%s", out.String())
+	}
+	if err := run([]string{"-check", path}, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "log-likelihood decreased") {
+		t.Fatalf("-check did not flag the decrease: %v", err)
+	}
+}
+
+func TestUsageAndBadFile(t *testing.T) {
+	if err := run(nil, &strings.Builder{}); err == nil {
+		t.Fatal("no-args run succeeded")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, &strings.Builder{}); err == nil {
+		t.Fatal("missing file run succeeded")
+	}
+}

@@ -21,6 +21,8 @@ var Deterministic = map[string]bool{
 	"depsense/internal/model":    true,
 	"depsense/internal/stream":   true,
 	"depsense/internal/obs":      true,
+	"depsense/internal/trace":    true,
+	"depsense/cmd/sstrace":       true,
 }
 
 // Estimator lists the packages that run open-ended iteration (EM rounds,
@@ -69,4 +71,6 @@ var Clocked = map[string]bool{
 	"depsense/internal/obs":       true,
 	"depsense/internal/apollo":    true,
 	"depsense/internal/httpapi":   true,
+	"depsense/internal/trace":     true,
+	"depsense/cmd/sstrace":        true,
 }

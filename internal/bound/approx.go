@@ -144,7 +144,7 @@ func ApproxContext(ctx context.Context, c Column, opts ApproxOptions, rng *rand.
 	}
 
 	if opts.Chains == 1 {
-		t, err := runApproxChain(ctx, c, opts, rng, opts.MaxSweeps)
+		t, err := runApproxChain(ctx, c, opts, rng, opts.MaxSweeps, 0)
 		if t.samples == 0 {
 			return Result{}, err
 		}
@@ -166,7 +166,7 @@ func ApproxContext(ctx context.Context, c Column, opts ApproxOptions, rng *rand.
 		if k < rem {
 			sweeps++
 		}
-		slots[k].t, slots[k].err = runApproxChain(sctx, c, opts, randutil.New(seeds[k]), sweeps)
+		slots[k].t, slots[k].err = runApproxChain(sctx, c, opts, randutil.New(seeds[k]), sweeps, k)
 		return nil
 	})
 
@@ -192,8 +192,11 @@ func ApproxContext(ctx context.Context, c Column, opts ApproxOptions, rng *rand.
 // runApproxChain runs one Gibbs chain for up to maxSweeps accumulation
 // sweeps and returns its raw tallies. The returned error is a chain-build
 // failure or the context's cancellation error; on cancellation the tallies
-// over the sweeps completed so far are still returned.
-func runApproxChain(ctx context.Context, c Column, opts ApproxOptions, rng *rand.Rand, maxSweeps int) (approxTally, error) {
+// over the sweeps completed so far are still returned. chainIdx is the
+// chain's index in the multi-chain decomposition (0 when single-chain),
+// reported on every hook firing so observers can reassemble per-chain
+// trajectories.
+func runApproxChain(ctx context.Context, c Column, opts ApproxOptions, rng *rand.Rand, maxSweeps, chainIdx int) (approxTally, error) {
 	n := c.N()
 	pOn := [][]float64{make([]float64, n), make([]float64, n)}
 	for i := 0; i < n; i++ {
@@ -216,6 +219,8 @@ func runApproxChain(ctx context.Context, c Column, opts ApproxOptions, rng *rand
 		t            approxTally
 		checkpoints  int
 		lastEstimate = math.Inf(1)
+		lastSumErr   float64 // sumErr at the previous checkpoint
+		lastSamples  int     // samples at the previous checkpoint
 		stop         error
 	)
 	for s := 0; s < maxSweeps; s++ {
@@ -249,8 +254,17 @@ func runApproxChain(ctx context.Context, c Column, opts ApproxOptions, rng *rand
 			est := t.sumErr / float64(t.samples)
 			checkpoints++
 			converged := math.Abs(est-lastEstimate) < opts.Tol
+			// The hook's Value is the checkpoint's BATCH mean — the error
+			// average over just this checkpoint's CheckEvery sweeps — not the
+			// cumulative running estimate: batch means are the near-iid
+			// per-checkpoint statistic convergence diagnostics (split-chain
+			// R-hat) need, where running means carry a deterministic
+			// converging trend that would read as non-stationarity.
+			batch := (t.sumErr - lastSumErr) / float64(t.samples-lastSamples)
+			lastSumErr, lastSamples = t.sumErr, t.samples
 			it := runctx.Iteration{
-				Algorithm: "gibbs-bound", N: checkpoints, Samples: t.samples,
+				Algorithm: "gibbs-bound", N: checkpoints, Chain: chainIdx,
+				Samples: t.samples, Value: batch, HasValue: true,
 				Elapsed: time.Since(start), Done: converged,
 			}
 			if converged {
@@ -264,10 +278,17 @@ func runApproxChain(ctx context.Context, c Column, opts ApproxOptions, rng *rand
 		}
 	}
 	if stop != nil {
-		hook.Emit(runctx.Iteration{
-			Algorithm: "gibbs-bound", N: checkpoints + 1, Samples: t.samples,
+		it := runctx.Iteration{
+			Algorithm: "gibbs-bound", N: checkpoints + 1, Chain: chainIdx,
+			Samples: t.samples,
 			Elapsed: time.Since(start), Done: true, Stopped: runctx.Reason(stop),
-		})
+		}
+		if t.samples > lastSamples {
+			// Partial batch since the last checkpoint.
+			it.Value = (t.sumErr - lastSumErr) / float64(t.samples-lastSamples)
+			it.HasValue = true
+		}
+		hook.Emit(it)
 	}
 	return t, stop
 }

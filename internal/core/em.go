@@ -323,7 +323,7 @@ func runRestart(ctx context.Context, ds *claims.Dataset, variant Variant, mode I
 		init = model.NewParams(ds.N(), 0.5)
 		seedPost = votePosteriors(ds, rng, r > 0)
 	}
-	return runOnce(ctx, ds, variant, init, seedPost, opts)
+	return runOnce(ctx, ds, variant, init, seedPost, opts, r)
 }
 
 // runRestartsParallel fans the restarts out over the worker budget. Each
@@ -432,7 +432,10 @@ type engine struct {
 	nums, dens    [][4]float64
 }
 
-func runOnce(ctx context.Context, ds *claims.Dataset, variant Variant, params *model.Params, seedPost []float64, opts Options) (*factfind.Result, error) {
+// runOnce executes one EM run. restart is the 0-based restart index, fired
+// through the hook as Iteration.Chain so observers (trace recorders) can
+// attribute records to their restart under parallel fan-out.
+func runOnce(ctx context.Context, ds *claims.Dataset, variant Variant, params *model.Params, seedPost []float64, opts Options, restart int) (*factfind.Result, error) {
 	n, m := ds.N(), ds.M()
 	eng := &engine{
 		ds:        ds,
@@ -490,7 +493,8 @@ func runOnce(ctx context.Context, ds *claims.Dataset, variant Variant, params *m
 			iter--
 			stopped := runctx.Reason(err)
 			hook.Emit(runctx.Iteration{
-				Algorithm: variant.String(), N: iter, LogLikelihood: ll,
+				Algorithm: variant.String(), N: iter, Chain: restart,
+				LogLikelihood: ll, HasLL: iter > 0,
 				Elapsed: time.Since(start), Done: true, Stopped: stopped,
 			})
 			return result(stopped), err
@@ -502,7 +506,8 @@ func runOnce(ctx context.Context, ds *claims.Dataset, variant Variant, params *m
 			converged = true
 		}
 		it := runctx.Iteration{
-			Algorithm: variant.String(), N: iter, LogLikelihood: ll,
+			Algorithm: variant.String(), N: iter, Chain: restart,
+			LogLikelihood: ll, HasLL: true,
 			Elapsed: time.Since(start), Done: converged,
 		}
 		if converged {
@@ -520,7 +525,8 @@ func runOnce(ctx context.Context, ds *claims.Dataset, variant Variant, params *m
 	ll = eng.eStep(params)
 	if !converged {
 		hook.Emit(runctx.Iteration{
-			Algorithm: variant.String(), N: opts.MaxIters, LogLikelihood: ll,
+			Algorithm: variant.String(), N: opts.MaxIters, Chain: restart,
+			LogLikelihood: ll, HasLL: true,
 			Elapsed: time.Since(start), Done: true, Stopped: runctx.StopIterationCap,
 		})
 	}

@@ -82,7 +82,7 @@ func runPlugin(ctx context.Context, ds *claims.Dataset, opts Options) (*factfind
 	// under the variant the caller asked for.
 	hook.Emit(runctx.Iteration{
 		Algorithm: VariantExt.String(), N: coarse.Iterations + 1,
-		LogLikelihood: ll, Elapsed: time.Since(start),
+		LogLikelihood: ll, HasLL: true, Elapsed: time.Since(start),
 		Done: true, Stopped: coarse.Stopped,
 	})
 	return &factfind.Result{

@@ -1,0 +1,119 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"depsense/internal/apollo"
+	"depsense/internal/trace"
+)
+
+// spillFile is the JSONL file name appended inside Options.TraceDir.
+const spillFile = "traces.jsonl"
+
+// traceFailedRetention derives the failed-ring capacity from the completed
+// retention: a quarter of it, never below trace.DefaultFailed, so shrinking
+// -trace-buffer can't silently stop retaining the failures the operator is
+// hunting.
+func traceFailedRetention(completed int) int {
+	if completed <= 0 {
+		return trace.DefaultFailed
+	}
+	if f := completed / 4; f > trace.DefaultFailed {
+		return f
+	}
+	return trace.DefaultFailed
+}
+
+// Flight returns the server's flight recorder, for programmatic access to
+// retained run traces (tests, embedding servers).
+func (s *Server) Flight() *trace.FlightRecorder { return s.flight }
+
+// newRunTrace starts the per-request trace record for a factfind request:
+// id shared with the access log, workload attrs, hook to be composed with
+// the metrics exporter via runctx.MultiHook. The worker count is
+// deliberately NOT an attr: traces are byte-identical at any Workers value
+// (outside timing fields), and recording the knob itself would break that
+// guarantee — the count is in the access log and server config instead.
+func (s *Server) newRunTrace(r *http.Request, algorithm string) *trace.Builder {
+	b := trace.NewBuilder("req-"+strconv.FormatUint(s.requestID(r), 10), "factfind", s.clock)
+	b.SetAttr("algorithm", algorithm)
+	b.SetAttr("seed", strconv.FormatInt(s.opts.Seed, 10))
+	return b
+}
+
+// finishRunTrace seals the builder with the run outcome, records the trace
+// into the flight recorder, and spills it to TraceDir when configured. It
+// returns the trace id so responses can point the client at
+// /debug/runs/{id}.
+func (s *Server) finishRunTrace(b *trace.Builder, out *apollo.Output, err error) string {
+	if out != nil {
+		for _, st := range out.Stages {
+			b.Stage(st.Stage, st.Duration)
+		}
+	}
+	status := trace.StatusOf(err)
+	errMsg := ""
+	if err != nil {
+		errMsg = err.Error()
+	}
+	t := b.Finish(status, errMsg)
+	s.flight.Record(t)
+	s.spillTrace(t)
+	return t.ID
+}
+
+// spillTrace appends one finished trace to TraceDir/traces.jsonl. Spill
+// failures are an operational problem, not a request failure: they are
+// logged and the request proceeds.
+func (s *Server) spillTrace(t *trace.Trace) {
+	if s.opts.TraceDir == "" {
+		return
+	}
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	path := filepath.Join(s.opts.TraceDir, spillFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.log.Error("trace spill open failed", "path", path, "err", err)
+		return
+	}
+	defer f.Close()
+	if err := trace.Write(f, t); err != nil {
+		s.log.Error("trace spill write failed", "path", path, "err", err)
+	}
+}
+
+// handleRunsIndex serves GET /debug/runs: the flight recorder's index,
+// newest first.
+func (s *Server) handleRunsIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	added, evicted := s.flight.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Runs    []trace.Summary `json:"runs"`
+		Added   uint64          `json:"added"`
+		Evicted uint64          `json:"evicted"`
+	}{Runs: s.flight.Index(), Added: added, Evicted: evicted})
+}
+
+// handleRunByID serves GET /debug/runs/{id}: one retained trace in full,
+// iteration events and diagnostics included.
+func (s *Server) handleRunByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	id := r.PathValue("id")
+	t, ok := s.flight.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no retained trace with id "+strconv.Quote(id)))
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}

@@ -5,17 +5,24 @@
 //
 // Endpoints:
 //
-//	GET  /healthz        — liveness probe
-//	GET  /v1/algorithms  — the available fact-finder names
-//	POST /v1/factfind    — run the pipeline; see Request/Response
-//	GET  /metrics        — Prometheus text exposition (unless disabled)
+//	GET  /healthz         — liveness probe
+//	GET  /v1/algorithms   — the available fact-finder names
+//	POST /v1/factfind     — run the pipeline; see Request/Response
+//	GET  /metrics         — Prometheus text exposition (unless disabled)
+//	GET  /debug/runs      — flight-recorder index (recent run traces)
+//	GET  /debug/runs/{id} — one run's full trace JSON
 //
 // Every endpoint runs behind the request middleware: per-endpoint
 // request/status counters, latency histograms, an in-flight gauge, and
 // request-id-tagged slog access logs. /v1/factfind additionally attaches an
 // obs.HookExporter to the request context, so estimator iteration records
 // (EM iterations, heuristic rounds) land in the same registry the /metrics
-// endpoint serves.
+// endpoint serves — composed via runctx.MultiHook with a trace.Builder hook
+// that records the same iterations, plus the pipeline stage timings, into a
+// per-request trace. Finished traces land in an in-memory flight recorder
+// (bounded rings of recent completed and failed runs, served by the /debug
+// endpoints) and, when Options.TraceDir is set, are appended to a JSONL
+// spill file for post-mortem analysis with cmd/sstrace.
 package httpapi
 
 import (
@@ -27,6 +34,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -37,6 +45,7 @@ import (
 	"depsense/internal/factfind"
 	"depsense/internal/obs"
 	"depsense/internal/runctx"
+	"depsense/internal/trace"
 	"depsense/internal/tweetjson"
 )
 
@@ -69,6 +78,15 @@ type Options struct {
 	// Clock supplies request/latency timestamps; nil means the wall
 	// clock. Injected so middleware accounting is testable.
 	Clock func() time.Time
+	// TraceBuffer sets how many completed run traces the flight recorder
+	// retains (failed/cancelled runs get an additional quarter-sized ring of
+	// their own, at least trace.DefaultFailed). 0 selects
+	// trace.DefaultCompleted.
+	TraceBuffer int
+	// TraceDir, when non-empty, appends every finished run trace to
+	// TraceDir/traces.jsonl — the post-mortem spill read by cmd/sstrace.
+	// The directory must exist; write failures are logged, never fatal.
+	TraceDir string
 }
 
 // Server is the HTTP facade over the Apollo pipeline.
@@ -79,6 +97,8 @@ type Server struct {
 	log       *slog.Logger
 	clock     func() time.Time
 	nextReqID atomic.Uint64
+	flight    *trace.FlightRecorder
+	spillMu   sync.Mutex // serializes appends to TraceDir/traces.jsonl
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -104,9 +124,12 @@ func New(opts Options) *Server {
 		clock = time.Now
 	}
 	s := &Server{opts: opts, mux: http.NewServeMux(), reg: reg, log: log, clock: clock}
+	s.flight = trace.NewFlightRecorder(opts.TraceBuffer, traceFailedRetention(opts.TraceBuffer))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/algorithms", s.instrument("/v1/algorithms", s.handleAlgorithms))
 	s.mux.HandleFunc("/v1/factfind", s.instrument("/v1/factfind", s.handleFactFind))
+	s.mux.HandleFunc("/debug/runs", s.instrument("/debug/runs", s.handleRunsIndex))
+	s.mux.HandleFunc("/debug/runs/{id}", s.instrument("/debug/runs/{id}", s.handleRunByID))
 	if !opts.DisableMetrics {
 		s.mux.HandleFunc("/metrics", s.instrument("/metrics", reg.Handler().ServeHTTP))
 	}
@@ -170,7 +193,10 @@ type Response struct {
 	Iterations int    `json:"iterations"`
 	// Stopped is the run's stop reason: "converged", "iteration-cap",
 	// "cancelled", or "deadline".
-	Stopped string            `json:"stopped,omitempty"`
+	Stopped string `json:"stopped,omitempty"`
+	// TraceID names the run trace retained by the flight recorder; fetch the
+	// full record at /debug/runs/{traceID}.
+	TraceID string            `json:"traceID,omitempty"`
 	Ranked  []RankedAssertion `json:"ranked"`
 }
 
@@ -182,6 +208,10 @@ type apiError struct {
 	// Iterations reports the progress made before a compute-budget
 	// failure.
 	Iterations int `json:"iterations,omitempty"`
+	// TraceID names the run trace retained by the flight recorder, when the
+	// failure happened after compute started; the post-mortem record lives at
+	// /debug/runs/{traceID}.
+	TraceID string `json:"traceID,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -248,16 +278,19 @@ func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.opts.ComputeTimeout)
 		defer cancel()
 	}
-	// Estimator telemetry: one exporter per request feeds the shared
-	// registry, serialized so parallel compute paths (EM restart fan-out
-	// at Workers > 1) never fire it concurrently — counter values stay
-	// identical at any worker count.
-	ctx = runctx.WithHook(ctx, obs.HookExporter(s.reg))
+	// Estimator telemetry: one metrics exporter plus one trace recorder per
+	// request, composed with MultiHook and serialized so parallel compute
+	// paths (EM restart fan-out at Workers > 1) never fire them
+	// concurrently — counter values and traces stay identical at any worker
+	// count.
+	tb := s.newRunTrace(r, finder.Name())
+	ctx = runctx.WithHook(ctx, runctx.MultiHook(obs.HookExporter(s.reg), tb.Hook()))
 	ctx = runctx.WithSerializedHook(ctx)
 	out, err := apollo.RunContext(ctx, in, finder, apollo.Options{TopK: topK, Clock: s.clock})
 	if out != nil {
 		s.recordStages(out.Stages)
 	}
+	traceID := s.finishRunTrace(tb, out, err)
 	if err != nil {
 		if reason := runctx.Reason(err); reason != "" {
 			// Compute budget exhausted (or client gone) — report the
@@ -268,6 +301,7 @@ func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
 			e := apiError{
 				Error:   fmt.Sprintf("compute budget exhausted (%s): %v", reason, err),
 				Stopped: reason,
+				TraceID: traceID,
 			}
 			if out != nil && out.Result != nil {
 				e.Iterations = out.Result.Iterations
@@ -279,7 +313,7 @@ func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
 		if !errors.Is(err, apollo.ErrNoMessages) && !errors.Is(err, apollo.ErrGraphSize) {
 			status = http.StatusInternalServerError
 		}
-		writeError(w, status, err)
+		writeJSON(w, status, apiError{Error: err.Error(), TraceID: traceID})
 		return
 	}
 
@@ -292,6 +326,7 @@ func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
 		Converged:  out.Result.Converged,
 		Iterations: out.Result.Iterations,
 		Stopped:    out.Result.Stopped,
+		TraceID:    traceID,
 	}
 	for _, c := range out.Ranked {
 		claimants := out.Dataset.Claimants(c)

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -29,6 +30,20 @@ const (
 	// expired before the estimator started.
 	MetricComputeExhausted = "depsense_http_compute_exhausted_total"
 )
+
+// reqIDKey carries the middleware-assigned request id through the request
+// context, so handlers (and the traces they record) share the id the access
+// log prints.
+type reqIDKey struct{}
+
+// requestID returns the middleware-assigned id for the request, allocating
+// one when the handler runs outside instrument (direct handler tests).
+func (s *Server) requestID(r *http.Request) uint64 {
+	if id, ok := r.Context().Value(reqIDKey{}).(uint64); ok {
+		return id
+	}
+	return s.nextReqID.Add(1)
+}
 
 // statusRecorder captures the status code and body size a handler writes,
 // defaulting to 200 when the handler never calls WriteHeader explicitly.
@@ -60,6 +75,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		inFlight := s.reg.Gauge(MetricInFlight, "Requests currently being served.")
 		inFlight.Inc()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
 		h(rec, r)
 		inFlight.Dec()
 		elapsed := s.clock().Sub(start)

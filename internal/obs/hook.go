@@ -66,7 +66,7 @@ func HookExporter(reg *Registry) runctx.Hook {
 					nil, alg).Observe(d.Seconds())
 			}
 		}
-		if it.LogLikelihood != 0 {
+		if it.HasLL {
 			reg.Gauge(MetricLogLikelihood,
 				"Latest data log-likelihood reported by a model-based estimator, by algorithm.",
 				alg).Set(it.LogLikelihood)

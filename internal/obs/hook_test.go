@@ -21,9 +21,9 @@ func TestHookExporterCounting(t *testing.T) {
 	hook := HookExporter(reg)
 
 	// A converged run: 3 iterations, convergence detected on the third.
-	hook(runctx.Iteration{Algorithm: "EM-Ext", N: 1, LogLikelihood: -10, Elapsed: time.Millisecond})
-	hook(runctx.Iteration{Algorithm: "EM-Ext", N: 2, LogLikelihood: -8, Elapsed: 2 * time.Millisecond})
-	hook(runctx.Iteration{Algorithm: "EM-Ext", N: 3, LogLikelihood: -7, Elapsed: 3 * time.Millisecond,
+	hook(runctx.Iteration{Algorithm: "EM-Ext", N: 1, LogLikelihood: -10, HasLL: true, Elapsed: time.Millisecond})
+	hook(runctx.Iteration{Algorithm: "EM-Ext", N: 2, LogLikelihood: -8, HasLL: true, Elapsed: 2 * time.Millisecond})
+	hook(runctx.Iteration{Algorithm: "EM-Ext", N: 3, LogLikelihood: -7, HasLL: true, Elapsed: 3 * time.Millisecond,
 		Done: true, Stopped: runctx.StopConverged})
 	// A capped run: 2 iterations then the extra final firing.
 	hook(runctx.Iteration{Algorithm: "Voting", N: 1, Elapsed: time.Millisecond})
@@ -62,6 +62,38 @@ func TestHookExporterCounting(t *testing.T) {
 	h := reg.Histogram(MetricIterationSeconds, "", nil, alg("EM-Ext"))
 	if h.Count() != 3 || h.Sum() < 0.0029 || h.Sum() > 0.0031 {
 		t.Fatalf("EM-Ext latency histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+// TestHookExporterZeroLogLikelihood checks the HasLL disambiguation: a
+// genuine log-likelihood of exactly 0.0 (a perfectly explained dataset)
+// updates the gauge, while a firing without HasLL — a heuristic round —
+// leaves it alone even when the zero-valued field would previously have
+// been mistaken for "absent".
+func TestHookExporterZeroLogLikelihood(t *testing.T) {
+	reg := NewRegistry()
+	hook := HookExporter(reg)
+	alg := L("algorithm", "EM-Ext")
+
+	hook(runctx.Iteration{Algorithm: "EM-Ext", N: 1, LogLikelihood: -5, HasLL: true, Elapsed: time.Millisecond})
+	hook(runctx.Iteration{Algorithm: "EM-Ext", N: 2, LogLikelihood: 0, HasLL: true, Elapsed: 2 * time.Millisecond})
+	if got := reg.Gauge(MetricLogLikelihood, "", alg).Value(); got != 0 {
+		t.Fatalf("gauge after genuine 0.0 log-likelihood = %v, want 0", got)
+	}
+
+	// A heuristic firing carries no log-likelihood: no gauge series may
+	// appear for its algorithm, even though the zero-valued field would
+	// previously have been indistinguishable from "absent".
+	hook(runctx.Iteration{Algorithm: "Voting", N: 1, Elapsed: time.Millisecond})
+	var b strings.Builder
+	if err := reg.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), MetricLogLikelihood+`{algorithm="Voting"}`) {
+		t.Fatalf("gauge series created for a firing without HasLL:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), MetricLogLikelihood+`{algorithm="EM-Ext"} 0`) {
+		t.Fatalf("genuine 0.0 log-likelihood not exported:\n%s", b.String())
 	}
 }
 

@@ -15,6 +15,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -187,13 +188,17 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 }
 
 // Histogram returns the histogram series for (name, labels). Buckets are
-// upper bounds in increasing order; nil selects DefBuckets. The bucket
-// layout is fixed by the first registration; later calls may pass nil to
-// reuse it, but a different explicit layout panics.
+// upper bounds in increasing order; nil selects DefBuckets. A trailing +Inf
+// bound is accepted and stripped: the exposition format's implicit
+// le="+Inf" bucket (rendered from the observation count) already covers it,
+// and keeping the explicit bound would render the same series twice. The
+// bucket layout is fixed by the first registration; later calls may pass
+// nil to reuse it, but a different explicit layout panics.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
 	if buckets == nil {
 		buckets = DefBuckets
 	}
+	buckets = stripInfBucket(buckets)
 	s := r.lookup(name, help, histogramKind, buckets, labels)
 	r.mu.Lock()
 	b := r.families[name].buckets
@@ -242,6 +247,18 @@ func (r *Registry) lookup(name, help string, k kind, buckets []float64, labels [
 		f.series[sig] = s
 	}
 	return s
+}
+
+// stripInfBucket drops trailing +Inf upper bounds; render emits the
+// implicit le="+Inf" bucket unconditionally, so an explicit one would
+// duplicate it. A layout that was ONLY +Inf is left for lookup's
+// non-empty validation to reject.
+func stripInfBucket(buckets []float64) []float64 {
+	n := len(buckets)
+	for n > 0 && math.IsInf(buckets[n-1], 1) {
+		n--
+	}
+	return buckets[:n]
 }
 
 func equalBuckets(a, b []float64) bool {

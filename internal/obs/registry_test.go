@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -48,6 +49,57 @@ func TestExpositionGolden(t *testing.T) {
 	}
 	if b.String() != want {
 		t.Fatalf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestExpositionSpecialValues pins the rendering of the IEEE special values
+// (NaN, ±Inf gauges — reachable through HookExporter when an estimator
+// reports a degenerate log-likelihood) and the histogram +Inf bucket: an
+// explicit trailing +Inf bound in the registered layout must collapse into
+// the implicit le="+Inf" line, never render as a duplicate series.
+func TestExpositionSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g_nan", "NaN gauge.").Set(math.NaN())
+	r.Gauge("g_pinf", "Positive infinity gauge.").Set(math.Inf(1))
+	r.Gauge("g_ninf", "Negative infinity gauge.").Set(math.Inf(-1))
+	h := r.Histogram("h_seconds", "Explicit +Inf bucket.", []float64{0.5, math.Inf(1)})
+	h.Observe(0.1)
+	h.Observe(99)
+
+	want := strings.Join([]string{
+		`# HELP g_nan NaN gauge.`,
+		`# TYPE g_nan gauge`,
+		`g_nan NaN`,
+		`# HELP g_ninf Negative infinity gauge.`,
+		`# TYPE g_ninf gauge`,
+		`g_ninf -Inf`,
+		`# HELP g_pinf Positive infinity gauge.`,
+		`# TYPE g_pinf gauge`,
+		`g_pinf +Inf`,
+		`# HELP h_seconds Explicit +Inf bucket.`,
+		`# TYPE h_seconds histogram`,
+		`h_seconds_bucket{le="0.5"} 1`,
+		`h_seconds_bucket{le="+Inf"} 2`,
+		`h_seconds_sum 99.1`,
+		`h_seconds_count 2`,
+		``,
+	}, "\n")
+
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+
+	// Re-registering with and without the stripped +Inf bound is the same
+	// layout, and the handles share the series.
+	if got := r.Histogram("h_seconds", "", []float64{0.5}).Count(); got != 2 {
+		t.Fatalf("stripped layout resolved to a different series: count=%d", got)
+	}
+	if got := r.Histogram("h_seconds", "", []float64{0.5, math.Inf(1)}).Count(); got != 2 {
+		t.Fatalf("+Inf layout resolved to a different series: count=%d", got)
 	}
 }
 

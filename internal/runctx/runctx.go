@@ -50,9 +50,26 @@ type Iteration struct {
 	Algorithm string
 	// N is the 1-based iteration / round / checkpoint number.
 	N int
+	// Chain is the 0-based index of the restart / Gibbs chain firing this
+	// record, when the computation fans out over several (EM restart pools,
+	// multi-chain bound approximation); 0 for serial single-run layers.
+	Chain int
 	// LogLikelihood is the current data log-likelihood for model-based
-	// estimators; zero for computations without one.
+	// estimators. HasLL distinguishes "no log-likelihood" (heuristics,
+	// enumeration loops) from a genuine value — including a genuine 0.0.
 	LogLikelihood float64
+	// HasLL marks LogLikelihood as meaningful. Observers must gate on it
+	// rather than comparing LogLikelihood against zero.
+	HasLL bool
+	// Value is an algorithm-specific scalar trajectory statistic — for the
+	// Gibbs bound approximation, the checkpoint's batch-mean conditional
+	// error (the average over just this checkpoint's sweeps) — with HasValue
+	// marking it meaningful. Convergence diagnostics (split-chain R-hat)
+	// read per-chain Value sequences, which is why layers should report
+	// near-iid batch statistics rather than trend-carrying running means.
+	Value float64
+	// HasValue marks Value as meaningful.
+	HasValue bool
 	// Samples is the cumulative sample / pattern count for Monte Carlo and
 	// enumeration loops; zero for fixed-point iterations.
 	Samples int
@@ -73,6 +90,46 @@ type Hook func(Iteration)
 func (h Hook) Emit(it Iteration) {
 	if h != nil {
 		h(it)
+	}
+}
+
+// MultiHook composes hooks into a single hook that fires each non-nil
+// sub-hook in argument order for every record — the fan-out that lets one
+// run feed a metrics exporter and a trace recorder at once. Nil sub-hooks
+// are skipped; zero non-nil sub-hooks compose to a nil Hook, and a single
+// one is returned unwrapped.
+//
+// A panicking sub-hook does not starve the rest: the remaining hooks still
+// fire, and the first recovered panic is re-raised afterwards on the
+// computing goroutine, so an observer bug is reported, never swallowed.
+func MultiHook(hooks ...Hook) Hook {
+	live := make([]Hook, 0, len(hooks))
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(it Iteration) {
+		var first any
+		for _, h := range live {
+			func() {
+				defer func() {
+					if r := recover(); r != nil && first == nil {
+						first = r
+					}
+				}()
+				h(it)
+			}()
+		}
+		if first != nil {
+			panic(first)
+		}
 	}
 }
 

@@ -40,6 +40,57 @@ func TestWithHookNilIsNoop(t *testing.T) {
 	}
 }
 
+func TestMultiHookOrderAndNilHandling(t *testing.T) {
+	if MultiHook() != nil || MultiHook(nil, nil) != nil {
+		t.Fatal("MultiHook of no live hooks should be nil")
+	}
+	var single []int
+	one := Hook(func(it Iteration) { single = append(single, it.N) })
+	MultiHook(nil, one).Emit(Iteration{N: 3})
+	if len(single) != 1 || single[0] != 3 {
+		t.Fatalf("single live hook not returned unwrapped: %v", single)
+	}
+
+	var order []string
+	mk := func(name string) Hook {
+		return func(it Iteration) { order = append(order, fmt.Sprintf("%s:%d", name, it.N)) }
+	}
+	h := MultiHook(mk("a"), nil, mk("b"), mk("c"))
+	h.Emit(Iteration{N: 5})
+	want := []string{"a:5", "b:5", "c:5"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v (argument order)", order, want)
+		}
+	}
+}
+
+func TestMultiHookPanicReportedNotSwallowed(t *testing.T) {
+	var before, after int
+	h := MultiHook(
+		func(Iteration) { before++ },
+		func(Iteration) { panic("observer bug") },
+		func(Iteration) { after++ },
+	)
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		h.Emit(Iteration{N: 1})
+	}()
+	if recovered == nil {
+		t.Fatal("sub-hook panic was swallowed")
+	}
+	if msg, ok := recovered.(string); !ok || msg != "observer bug" {
+		t.Fatalf("recovered %v, want the sub-hook's panic value", recovered)
+	}
+	if before != 1 || after != 1 {
+		t.Fatalf("hooks around the panicking one fired %d/%d times, want 1/1", before, after)
+	}
+}
+
 func TestRNGRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	ctx := WithRNG(context.Background(), rng)

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Write encodes traces as JSONL: one compact JSON object per line, struct
+// field order fixed by the type definitions, attrs and runs canonicalized
+// by Finish — the same trace always encodes to the same bytes, which is
+// what lets tests diff spill files across Workers values.
+func Write(w io.Writer, traces ...*Trace) error {
+	for _, t := range traces {
+		line, err := Marshal(t)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{'\n'}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Marshal encodes one trace as a single JSON line (no trailing newline).
+func Marshal(t *Trace) ([]byte, error) {
+	line, err := json.Marshal(t)
+	if err != nil {
+		return nil, fmt.Errorf("trace: encode %q: %w", t.ID, err)
+	}
+	return line, nil
+}
+
+// WriteFile writes traces as a JSONL file at path, replacing any existing
+// file — the one-shot variant the CLIs use (the serving layer appends to
+// its spill instead).
+func WriteFile(path string, traces ...*Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, traces...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile decodes a JSONL trace file.
+func ReadFile(path string) ([]*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read decodes a JSONL stream of traces. Blank lines are skipped; a
+// malformed line fails the whole read with its line number, since a spill
+// file with a corrupt record should be noticed, not silently truncated.
+func Read(r io.Reader) ([]*Trace, error) {
+	var out []*Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		t := &Trace{}
+		if err := json.Unmarshal(line, t); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
+}
+
+// maxLineBytes bounds a single JSONL line (64 MiB): a trace holds at most a
+// few thousand iteration events, far below this, so hitting the limit
+// indicates a corrupt file rather than a big run.
+const maxLineBytes = 64 << 20
