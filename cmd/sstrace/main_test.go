@@ -174,6 +174,34 @@ func TestNonMonotoneLLFlagged(t *testing.T) {
 		!strings.Contains(err.Error(), "log-likelihood decreased") {
 		t.Fatalf("-check did not flag the decrease: %v", err)
 	}
+	// An -lltol below the dip still fails.
+	if err := run([]string{"-check", "-lltol", "1", path}, &strings.Builder{}); err == nil {
+		t.Fatal("-lltol 1 forgave a 15-unit decrease")
+	}
+}
+
+// TestLLTolForgivesSmoothingJitter: production fits use the smoothed M-step,
+// whose trajectory can lose a hair of raw log-likelihood near the plateau;
+// -lltol marks such runs quasi-monotone instead of failing the check.
+func TestLLTolForgivesSmoothingJitter(t *testing.T) {
+	b := trace.NewBuilder("run-5", "ingest", testClock())
+	hook := b.Hook()
+	for i, ll := range []float64{-90, -60.000001, -60.000002, -60.000001} {
+		hook(runctx.Iteration{Algorithm: "EM-Social", N: i + 1, LogLikelihood: ll, HasLL: true})
+	}
+	path := writeTraces(t, "jitter.jsonl", b.Finish(trace.StatusOK, ""))
+
+	// Strict mode flags it.
+	if err := run([]string{"-check", path}, &strings.Builder{}); err == nil {
+		t.Fatal("strict -check passed a decreasing trajectory")
+	}
+	var out strings.Builder
+	if err := run([]string{"-check", "-lltol", "1e-4", path}, &out); err != nil {
+		t.Fatalf("-lltol 1e-4 still failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "quasi-monotone: 1 decrease(s) within jitter tolerance 0.0001") {
+		t.Fatalf("jitter verdict missing:\n%s", out.String())
+	}
 }
 
 func TestUsageAndBadFile(t *testing.T) {

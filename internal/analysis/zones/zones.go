@@ -20,6 +20,7 @@ var Deterministic = map[string]bool{
 	"depsense/internal/claims":   true,
 	"depsense/internal/model":    true,
 	"depsense/internal/stream":   true,
+	"depsense/internal/ingest":   true,
 	"depsense/internal/obs":      true,
 	"depsense/internal/trace":    true,
 	"depsense/cmd/sstrace":       true,
@@ -34,6 +35,7 @@ var Estimator = map[string]bool{
 	"depsense/internal/bound":     true,
 	"depsense/internal/baselines": true,
 	"depsense/internal/stream":    true,
+	"depsense/internal/ingest":    true,
 	"depsense/internal/factfind":  true,
 	"depsense/internal/apollo":    true,
 	"depsense/internal/parallel":  true,
@@ -58,19 +60,22 @@ var Numeric = map[string]bool{
 // runs. seedsource requires wall-clock reads here to be injected clocks or
 // explicitly allowed as timing measurements.
 var Clocked = map[string]bool{
-	"depsense/internal/core":      true,
-	"depsense/internal/bound":     true,
-	"depsense/internal/gibbs":     true,
-	"depsense/internal/parallel":  true,
-	"depsense/internal/cluster":   true,
-	"depsense/internal/depgraph":  true,
-	"depsense/internal/baselines": true,
-	"depsense/internal/eval":      true,
-	"depsense/internal/report":    true,
-	"depsense/internal/stream":    true,
-	"depsense/internal/obs":       true,
-	"depsense/internal/apollo":    true,
-	"depsense/internal/httpapi":   true,
-	"depsense/internal/trace":     true,
-	"depsense/cmd/sstrace":        true,
+	"depsense/internal/core":       true,
+	"depsense/internal/bound":      true,
+	"depsense/internal/gibbs":      true,
+	"depsense/internal/parallel":   true,
+	"depsense/internal/cluster":    true,
+	"depsense/internal/depgraph":   true,
+	"depsense/internal/baselines":  true,
+	"depsense/internal/eval":       true,
+	"depsense/internal/report":     true,
+	"depsense/internal/stream":     true,
+	"depsense/internal/ingest":     true,
+	"depsense/internal/twittersim": true,
+	"depsense/internal/obs":        true,
+	"depsense/internal/apollo":     true,
+	"depsense/internal/httpapi":    true,
+	"depsense/internal/trace":      true,
+	"depsense/cmd/sstrace":         true,
+	"depsense/cmd/ssingest":        true,
 }

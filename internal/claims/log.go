@@ -1,0 +1,121 @@
+package claims
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Log record kinds. A claim log is an append-only JSONL write-ahead log:
+// tweet records carry the raw observations, and a commit record marks the
+// preceding uncommitted tweets as one atomically-applied batch. Records
+// after the last commit are an uncommitted tail — written but never applied
+// — and are discarded on replay.
+const (
+	// RecordTweet logs one accepted raw observation.
+	RecordTweet = "tweet"
+	// RecordCommit marks the tweets since the previous commit as applied.
+	RecordCommit = "commit"
+)
+
+// LogRecord is one line of the claim log. Tweet records populate Seq,
+// Source, Time, Text, and RetweetOf; commit records populate Batch, Tweets,
+// and SrcSeq. The type is deliberately self-contained (no dependency on the
+// graph or simulator layers) so the log format stands on its own.
+type LogRecord struct {
+	Kind string `json:"kind"`
+
+	// Tweet fields.
+	Seq       int    `json:"seq,omitempty"`    // position in the source stream
+	Source    int    `json:"source,omitempty"` // authoring source id
+	Time      int64  `json:"time,omitempty"`   // stable timestamp, Unix nanoseconds
+	Text      string `json:"text,omitempty"`   // raw tweet text
+	RetweetOf int    `json:"retweetOf"`        // author repeated, -1 for originals
+	// Commit fields.
+	Batch  int `json:"batch,omitempty"`  // committed batch sequence number
+	Tweets int `json:"tweets,omitempty"` // cumulative accepted tweets after this batch
+	SrcSeq int `json:"srcSeq,omitempty"` // last source-stream seq in this batch
+}
+
+// TornTail reports a truncated final log line — the signature of a crash
+// mid-append. Replay skips it (the record never committed) rather than
+// failing; callers should surface it and rewrite the log without the torn
+// bytes.
+type TornTail struct {
+	// Line is the 1-based line number of the torn record.
+	Line int
+	// Bytes is how many trailing bytes the torn line occupies.
+	Bytes int
+}
+
+// LogWriter appends records to a claim log. Writes are buffered; callers
+// must Flush (and fsync the underlying file, if durability is needed)
+// before treating a batch as committed.
+type LogWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewLogWriter wraps w for appending log records.
+func NewLogWriter(w io.Writer) *LogWriter {
+	bw := bufio.NewWriter(w)
+	return &LogWriter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Append writes one record as a JSON line.
+func (lw *LogWriter) Append(rec LogRecord) error {
+	if rec.Kind != RecordTweet && rec.Kind != RecordCommit {
+		return fmt.Errorf("claims: log record has unknown kind %q", rec.Kind)
+	}
+	return lw.enc.Encode(rec)
+}
+
+// Flush pushes buffered records to the underlying writer.
+func (lw *LogWriter) Flush() error { return lw.w.Flush() }
+
+// ReadLog decodes a claim log. A final line that fails to parse — truncated
+// by a crash mid-append — is skipped and reported via torn instead of
+// failing the whole replay; malformed interior lines still error, since a
+// line followed by well-formed records was not torn by a crash.
+func ReadLog(r io.Reader) (recs []LogRecord, torn *TornTail, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	var pending *TornTail
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(trimSpace(raw)) == 0 {
+			continue
+		}
+		if pending != nil {
+			return nil, nil, fmt.Errorf("claims: malformed log record at line %d (followed by further records)", pending.Line)
+		}
+		var rec LogRecord
+		if uerr := json.Unmarshal(raw, &rec); uerr != nil {
+			// Tentatively torn: only stands if no further records follow.
+			pending = &TornTail{Line: line, Bytes: len(raw)}
+			continue
+		}
+		if rec.Kind != RecordTweet && rec.Kind != RecordCommit {
+			pending = &TornTail{Line: line, Bytes: len(raw)}
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, nil, fmt.Errorf("claims: reading log: %w", serr)
+	}
+	return recs, pending, nil
+}
+
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}

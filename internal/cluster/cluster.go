@@ -7,7 +7,6 @@
 package cluster
 
 import (
-	"sort"
 	"strings"
 )
 
@@ -79,62 +78,17 @@ type Assignment struct {
 	Leaders []int
 }
 
-// Cluster assigns every tokenized document to a cluster.
+// Cluster assigns every tokenized document to a cluster. It is the batch
+// form of the incremental API: feeding the documents through
+// Incremental.Add in order (see incremental.go), so batch callers and the
+// streaming ingestion service share one clustering algorithm.
 func (l *Leader) Cluster(docs [][]string) Assignment {
-	threshold := l.Threshold
-	if threshold <= 0 {
-		threshold = 0.5
-	}
-	maxPostings := l.MaxPostings
-	if maxPostings <= 0 {
-		maxPostings = 128
-	}
+	inc := l.Incremental()
 	assign := Assignment{Cluster: make([]int, len(docs))}
-	// Inverted index: token -> cluster ids whose leader contains it.
-	index := make(map[string][]int)
-	leaderTokens := make([][]string, 0)
-	counts := make(map[int]int) // scratch: candidate cluster -> shared tokens
-	cands := make([]int, 0, 64) // scratch: candidate ids in first-seen order
-
 	for d, doc := range docs {
-		clear(counts)
-		cands = cands[:0]
-		for _, tok := range doc {
-			for _, c := range index[tok] {
-				if counts[c] == 0 {
-					cands = append(cands, c)
-				}
-				counts[c]++
-			}
-		}
-		// Scan candidates in sorted id order, never map order, so the
-		// winner on Jaccard ties is reproducibly the lowest cluster id.
-		sort.Ints(cands)
-		best, bestSim := -1, threshold
-		for _, c := range cands {
-			shared := counts[c]
-			// Jaccard from intersection size and set sizes.
-			union := len(doc) + len(leaderTokens[c]) - shared
-			if union == 0 {
-				continue
-			}
-			sim := float64(shared) / float64(union)
-			if sim > bestSim {
-				best, bestSim = c, sim
-			}
-		}
-		if best < 0 {
-			best = assign.NumClusters
-			assign.NumClusters++
-			assign.Leaders = append(assign.Leaders, d)
-			leaderTokens = append(leaderTokens, doc)
-			for _, tok := range doc {
-				if len(index[tok]) < maxPostings {
-					index[tok] = append(index[tok], best)
-				}
-			}
-		}
-		assign.Cluster[d] = best
+		assign.Cluster[d] = inc.Add(doc)
 	}
+	assign.NumClusters = inc.NumClusters()
+	assign.Leaders = inc.Leaders()
 	return assign
 }

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Incremental is the stateful form of Leader: documents arrive one at a
+// time via Add, cluster ids are stable across calls (and hence across
+// batches — cluster c keeps meaning the same assertion forever), and the
+// whole state round-trips through State/RestoreIncremental so a long-lived
+// ingestion service can snapshot its assertion extraction and restart warm.
+//
+// Leader.Cluster is reimplemented on top of this type, so the batch path
+// and the incremental path are the same algorithm by construction: feeding
+// a document stream through Add in order yields exactly the assignment
+// Cluster would have produced on the concatenated slice.
+type Incremental struct {
+	threshold   float64
+	maxPostings int
+
+	// index is the inverted token index: token -> cluster ids whose leader
+	// contains it, in cluster-creation order, capped at maxPostings.
+	index        map[string][]int
+	leaderTokens [][]string
+	leaders      []int
+	docs         int
+
+	counts map[int]int // scratch: candidate cluster -> shared tokens
+	cands  []int       // scratch: candidate ids in first-seen order
+}
+
+// Incremental returns a fresh incremental clusterer with the Leader's
+// threshold and postings cap (defaults applied as in Cluster).
+func (l *Leader) Incremental() *Incremental {
+	threshold := l.Threshold
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	maxPostings := l.MaxPostings
+	if maxPostings <= 0 {
+		maxPostings = 128
+	}
+	return &Incremental{
+		threshold:   threshold,
+		maxPostings: maxPostings,
+		index:       make(map[string][]int),
+		counts:      make(map[int]int),
+		cands:       make([]int, 0, 64),
+	}
+}
+
+// NumClusters returns the number of clusters created so far.
+func (inc *Incremental) NumClusters() int { return len(inc.leaderTokens) }
+
+// Docs returns the number of documents consumed so far. Document ids are
+// assigned sequentially, so the next Add processes document Docs().
+func (inc *Incremental) Docs() int { return inc.docs }
+
+// Leaders returns a copy of the founding document id per cluster.
+func (inc *Incremental) Leaders() []int {
+	return append([]int(nil), inc.leaders...)
+}
+
+// Assign returns the cluster the document would join, without mutating any
+// state: the best existing cluster at least threshold-similar, or -1 when
+// the document would found a new cluster.
+func (inc *Incremental) Assign(doc []string) int {
+	return inc.bestCluster(doc)
+}
+
+// Add assigns the document to a cluster, founding a new one when no
+// existing cluster is at least threshold-similar, and returns its id.
+func (inc *Incremental) Add(doc []string) int {
+	best := inc.bestCluster(doc)
+	if best < 0 {
+		best = len(inc.leaderTokens)
+		inc.leaders = append(inc.leaders, inc.docs)
+		inc.leaderTokens = append(inc.leaderTokens, doc)
+		for _, tok := range doc {
+			if len(inc.index[tok]) < inc.maxPostings {
+				inc.index[tok] = append(inc.index[tok], best)
+			}
+		}
+	}
+	inc.docs++
+	return best
+}
+
+// bestCluster scans the inverted index for the most similar existing
+// cluster above the threshold, ties broken toward the lowest cluster id.
+func (inc *Incremental) bestCluster(doc []string) int {
+	clear(inc.counts)
+	inc.cands = inc.cands[:0]
+	for _, tok := range doc {
+		for _, c := range inc.index[tok] {
+			if inc.counts[c] == 0 {
+				inc.cands = append(inc.cands, c)
+			}
+			inc.counts[c]++
+		}
+	}
+	// Scan candidates in sorted id order, never map order, so the winner
+	// on Jaccard ties is reproducibly the lowest cluster id.
+	sort.Ints(inc.cands)
+	best, bestSim := -1, inc.threshold
+	for _, c := range inc.cands {
+		shared := inc.counts[c]
+		// Jaccard from intersection size and set sizes.
+		union := len(doc) + len(inc.leaderTokens[c]) - shared
+		if union == 0 {
+			continue
+		}
+		sim := float64(shared) / float64(union)
+		if sim > bestSim {
+			best, bestSim = c, sim
+		}
+	}
+	return best
+}
+
+// IncrementalState is the serializable snapshot of an Incremental. The
+// inverted index is not stored: it is a deterministic function of the
+// leader token sets (postings are appended in cluster-creation order, then
+// per-leader token order, capped at MaxPostings), so RestoreIncremental
+// rebuilds it exactly.
+type IncrementalState struct {
+	Threshold    float64    `json:"threshold"`
+	MaxPostings  int        `json:"maxPostings"`
+	Docs         int        `json:"docs"`
+	Leaders      []int      `json:"leaders"`
+	LeaderTokens [][]string `json:"leaderTokens"`
+}
+
+// State captures the clusterer's current state for persistence.
+func (inc *Incremental) State() *IncrementalState {
+	tokens := make([][]string, len(inc.leaderTokens))
+	for c, toks := range inc.leaderTokens {
+		tokens[c] = append([]string(nil), toks...)
+	}
+	return &IncrementalState{
+		Threshold:    inc.threshold,
+		MaxPostings:  inc.maxPostings,
+		Docs:         inc.docs,
+		Leaders:      append([]int(nil), inc.leaders...),
+		LeaderTokens: tokens,
+	}
+}
+
+// RestoreIncremental rebuilds an Incremental from a persisted state,
+// including the inverted index, so continuing the stream after a restart
+// produces exactly the assignments an uninterrupted run would have.
+func RestoreIncremental(st *IncrementalState) (*Incremental, error) {
+	if st == nil {
+		return nil, fmt.Errorf("cluster: nil incremental state")
+	}
+	if len(st.Leaders) != len(st.LeaderTokens) {
+		return nil, fmt.Errorf("cluster: state has %d leaders but %d token sets",
+			len(st.Leaders), len(st.LeaderTokens))
+	}
+	if st.Docs < len(st.Leaders) {
+		return nil, fmt.Errorf("cluster: state has %d docs but %d clusters", st.Docs, len(st.Leaders))
+	}
+	l := &Leader{Threshold: st.Threshold, MaxPostings: st.MaxPostings}
+	inc := l.Incremental()
+	inc.docs = st.Docs
+	inc.leaders = append([]int(nil), st.Leaders...)
+	inc.leaderTokens = make([][]string, len(st.LeaderTokens))
+	for c, toks := range st.LeaderTokens {
+		if st.Leaders[c] < 0 || st.Leaders[c] >= st.Docs {
+			return nil, fmt.Errorf("cluster: leader doc %d of cluster %d out of range [0,%d)",
+				st.Leaders[c], c, st.Docs)
+		}
+		inc.leaderTokens[c] = append([]string(nil), toks...)
+		for _, tok := range inc.leaderTokens[c] {
+			if len(inc.index[tok]) < inc.maxPostings {
+				inc.index[tok] = append(inc.index[tok], c)
+			}
+		}
+	}
+	return inc, nil
+}

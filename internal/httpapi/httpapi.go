@@ -35,7 +35,6 @@ import (
 	"net/http"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"depsense/internal/apollo"
@@ -91,14 +90,14 @@ type Options struct {
 
 // Server is the HTTP facade over the Apollo pipeline.
 type Server struct {
-	opts      Options
-	mux       *http.ServeMux
-	reg       *obs.Registry
-	log       *slog.Logger
-	clock     func() time.Time
-	nextReqID atomic.Uint64
-	flight    *trace.FlightRecorder
-	spillMu   sync.Mutex // serializes appends to TraceDir/traces.jsonl
+	opts    Options
+	mux     *http.ServeMux
+	reg     *obs.Registry
+	log     *slog.Logger
+	clock   func() time.Time
+	mw      *Middleware
+	flight  *trace.FlightRecorder
+	spillMu sync.Mutex // serializes appends to TraceDir/traces.jsonl
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -117,13 +116,14 @@ func New(opts Options) *Server {
 	}
 	log := opts.Logger
 	if log == nil {
-		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+		log = discardLogger()
 	}
 	clock := opts.Clock
 	if clock == nil {
 		clock = time.Now
 	}
-	s := &Server{opts: opts, mux: http.NewServeMux(), reg: reg, log: log, clock: clock}
+	s := &Server{opts: opts, mux: http.NewServeMux(), reg: reg, log: log, clock: clock,
+		mw: NewMiddleware(reg, log, clock)}
 	s.flight = trace.NewFlightRecorder(opts.TraceBuffer, traceFailedRetention(opts.TraceBuffer))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/algorithms", s.instrument("/v1/algorithms", s.handleAlgorithms))
@@ -379,6 +379,11 @@ func pickAlgorithm(name string, opts core.Options) factfind.FactFinder {
 		}
 	}
 	return nil
+}
+
+// discardLogger is the default when no logger is injected.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -5,6 +5,8 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"depsense/internal/apollo"
 	"depsense/internal/obs"
@@ -31,18 +33,53 @@ const (
 	MetricComputeExhausted = "depsense_http_compute_exhausted_total"
 )
 
+// Middleware is the request instrumentation shared by every depsense HTTP
+// surface (this package's fact-finding server, the ingestion service's
+// status server): per-endpoint request/status counters, a latency
+// histogram, an in-flight gauge, and request-id-tagged access logging. It
+// exists as a standalone type so thin servers can reuse the exact metric
+// names and logging shape without importing the whole fact-finding API.
+type Middleware struct {
+	// Reg receives the request metrics; required.
+	Reg *obs.Registry
+	// Log receives one access line per request; required (use a discard
+	// handler to silence).
+	Log *slog.Logger
+	// Clock supplies request timestamps; required, injected per the
+	// clocked-zone contract.
+	Clock func() time.Time
+
+	nextReqID atomic.Uint64
+}
+
+// NewMiddleware wires the instrumentation stack; nil registry, logger, or
+// clock select a fresh registry, a wall clock, and a discard logger via the
+// same defaults New applies.
+func NewMiddleware(reg *obs.Registry, log *slog.Logger, clock func() time.Time) *Middleware {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if log == nil {
+		log = discardLogger()
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Middleware{Reg: reg, Log: log, Clock: clock}
+}
+
 // reqIDKey carries the middleware-assigned request id through the request
 // context, so handlers (and the traces they record) share the id the access
 // log prints.
 type reqIDKey struct{}
 
-// requestID returns the middleware-assigned id for the request, allocating
-// one when the handler runs outside instrument (direct handler tests).
-func (s *Server) requestID(r *http.Request) uint64 {
+// RequestID returns the middleware-assigned id for the request, allocating
+// one when the handler runs outside Instrument (direct handler tests).
+func (m *Middleware) RequestID(r *http.Request) uint64 {
 	if id, ok := r.Context().Value(reqIDKey{}).(uint64); ok {
 		return id
 	}
-	return s.nextReqID.Add(1)
+	return m.nextReqID.Add(1)
 }
 
 // statusRecorder captures the status code and body size a handler writes,
@@ -64,27 +101,26 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// instrument wraps a handler with the request middleware: per-endpoint
-// request/status counters, a latency histogram, the in-flight gauge, and a
-// request-id-tagged access log line. The endpoint label is the registered
-// route, never the raw URL, so label cardinality stays bounded.
-func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+// Instrument wraps a handler with the request middleware. The endpoint
+// label is the registered route, never the raw URL, so label cardinality
+// stays bounded.
+func (m *Middleware) Instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		id := s.nextReqID.Add(1)
-		start := s.clock()
-		inFlight := s.reg.Gauge(MetricInFlight, "Requests currently being served.")
+		id := m.nextReqID.Add(1)
+		start := m.Clock()
+		inFlight := m.Reg.Gauge(MetricInFlight, "Requests currently being served.")
 		inFlight.Inc()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
 		h(rec, r)
 		inFlight.Dec()
-		elapsed := s.clock().Sub(start)
+		elapsed := m.Clock().Sub(start)
 
-		s.reg.Counter(MetricRequests, "HTTP requests by endpoint and status code.",
+		m.Reg.Counter(MetricRequests, "HTTP requests by endpoint and status code.",
 			obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(rec.status))).Inc()
-		s.reg.Histogram(MetricRequestSeconds, "HTTP request latency in seconds by endpoint.",
+		m.Reg.Histogram(MetricRequestSeconds, "HTTP request latency in seconds by endpoint.",
 			nil, obs.L("endpoint", endpoint)).Observe(elapsed.Seconds())
-		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		m.Log.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.Uint64("id", id),
 			slog.String("method", r.Method),
 			slog.String("endpoint", endpoint),
@@ -95,6 +131,14 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
+// instrument and requestID keep the server's historical internal surface,
+// delegating to the shared middleware.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return s.mw.Instrument(endpoint, h)
+}
+
+func (s *Server) requestID(r *http.Request) uint64 { return s.mw.RequestID(r) }
+
 // recordStages exports the pipeline's per-stage timings; partial runs
 // carry only the stages they completed.
 func (s *Server) recordStages(stages []apollo.StageTiming) {
@@ -104,3 +148,9 @@ func (s *Server) recordStages(stages []apollo.StageTiming) {
 			nil, obs.L("stage", st.Stage)).Observe(st.Duration.Seconds())
 	}
 }
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteError writes err as the standard {"error": ...} JSON body.
+func WriteError(w http.ResponseWriter, status int, err error) { writeError(w, status, err) }

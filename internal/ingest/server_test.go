@@ -1,0 +1,153 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"depsense/internal/core"
+	"depsense/internal/httpapi"
+	"depsense/internal/stream"
+	"depsense/internal/trace"
+)
+
+func servedPipeline(t *testing.T) (*Pipeline, *Server) {
+	t.Helper()
+	_, tweets := testTweets(t, 60, 7)
+	p, err := New(context.Background(), &SliceSource{Tweets: tweets}, Options{
+		Stream:          stream.Options{EM: core.Options{Seed: 5}},
+		BatchSize:       32,
+		DisableShedding: true,
+		Dir:             t.TempDir(),
+		SnapshotEvery:   2,
+		TraceBuffer:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, NewServer(p)
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func TestServerRankingsLifecycle(t *testing.T) {
+	p, srv := servedPipeline(t)
+
+	// Before any batch: healthy, but no ranking.
+	if rec := get(t, srv, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d", rec.Code)
+	}
+	if rec := get(t, srv, "/v1/rankings"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/v1/rankings before first batch = %d, want 503", rec.Code)
+	}
+
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := get(t, srv, "/v1/rankings")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/rankings = %d: %s", rec.Code, rec.Body)
+	}
+	var pub Published
+	if err := json.Unmarshal(rec.Body.Bytes(), &pub); err != nil {
+		t.Fatal(err)
+	}
+	if len(pub.Ranked) == 0 || pub.Tweets == 0 {
+		t.Fatalf("published ranking is empty: %+v", pub)
+	}
+	want := p.Published()
+	if pub.Batch != want.Batch || pub.Fits != want.Fits {
+		t.Fatalf("served ranking (batch %d) != published (batch %d)", pub.Batch, want.Batch)
+	}
+
+	// POST is rejected.
+	post := httptest.NewRecorder()
+	srv.ServeHTTP(post, httptest.NewRequest(http.MethodPost, "/v1/rankings", nil))
+	if post.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/rankings = %d, want 405", post.Code)
+	}
+}
+
+func TestServerStatusz(t *testing.T) {
+	p, srv := servedPipeline(t)
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, srv, "/statusz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/statusz = %d: %s", rec.Code, rec.Body)
+	}
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Accepted == 0 || st.Dropped != 0 || st.Batches == 0 {
+		t.Fatalf("statusz counters: %+v", st)
+	}
+	if st.Queues["raw"].Capacity != 1024 || st.Queues["batch"].Capacity != 4 {
+		t.Fatalf("statusz queues: %+v", st.Queues)
+	}
+	if st.SnapshotAgeSeconds < 0 {
+		t.Fatalf("snapshot age = %v, want >= 0 after a graceful run", st.SnapshotAgeSeconds)
+	}
+	if st.Published == nil {
+		t.Fatal("statusz has no published header")
+	}
+}
+
+func TestServerMetricsAndDebugRuns(t *testing.T) {
+	p, srv := servedPipeline(t)
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A completed request first, so the http_* request series exist.
+	if rec := get(t, srv, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d", rec.Code)
+	}
+	rec := get(t, srv, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, name := range []string{
+		MetricTweets, MetricBatches, MetricQueueDepth, MetricQueueCapacity,
+		MetricSnapshots, MetricSnapshotAge,
+		stream.MetricSources, stream.MetricLastRefitAge,
+		httpapi.MetricRequests,
+	} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("/metrics missing %s", name)
+		}
+	}
+
+	// The flight recorder serves per-refit traces.
+	recIdx := get(t, srv, "/debug/runs")
+	if recIdx.Code != http.StatusOK {
+		t.Fatalf("/debug/runs = %d", recIdx.Code)
+	}
+	var idx struct {
+		Runs []trace.Summary `json:"runs"`
+	}
+	if err := json.Unmarshal(recIdx.Body.Bytes(), &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Runs) == 0 {
+		t.Fatal("/debug/runs is empty after a run")
+	}
+	one := get(t, srv, "/debug/runs/"+idx.Runs[0].ID)
+	if one.Code != http.StatusOK {
+		t.Fatalf("/debug/runs/{id} = %d", one.Code)
+	}
+	if miss := get(t, srv, "/debug/runs/nope"); miss.Code != http.StatusNotFound {
+		t.Fatalf("/debug/runs/nope = %d, want 404", miss.Code)
+	}
+}

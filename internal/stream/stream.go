@@ -32,6 +32,14 @@ const (
 	MetricFits = "depsense_stream_fits_total"
 	// MetricFitSeconds is the refit-duration histogram by mode.
 	MetricFitSeconds = "depsense_stream_fit_duration_seconds"
+	// MetricSources / MetricAssertions / MetricClaims gauge the accumulated
+	// stream id spaces and claim count.
+	MetricSources    = "depsense_stream_sources"
+	MetricAssertions = "depsense_stream_assertions"
+	MetricClaims     = "depsense_stream_claims"
+	// MetricLastRefitAge gauges seconds since the last completed refit —
+	// the staleness signal ops watch, as opposed to the fit counters.
+	MetricLastRefitAge = "depsense_stream_last_refit_age_seconds"
 )
 
 // Options tunes the incremental estimator.
@@ -71,6 +79,7 @@ type Estimator struct {
 	fits     int
 	warmFits int
 	coldFits int
+	lastFit  time.Time
 	clock    func() time.Time
 }
 
@@ -181,11 +190,34 @@ func (e *Estimator) recordFit(warm bool, d time.Duration) {
 	} else {
 		e.coldFits++
 	}
+	e.lastFit = e.clock()
 	if reg := e.opts.Metrics; reg != nil {
 		reg.Counter(MetricFits, "Completed stream refits by mode (cold first fit vs warm-started refit).",
 			obs.L("mode", mode)).Inc()
 		reg.Histogram(MetricFitSeconds, "Stream refit duration in seconds by mode.",
 			nil, obs.L("mode", mode)).Observe(d.Seconds())
+	}
+	e.ExportGauges()
+}
+
+// ExportGauges publishes the current stream-size gauges and the
+// last-refit-age gauge into the attached registry. It runs after every
+// completed fit; long-lived services should also call it on scrape (or on a
+// timer), since the age gauge goes stale between fits by definition.
+func (e *Estimator) ExportGauges() {
+	reg := e.opts.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Gauge(MetricSources, "Sources in the accumulated stream id space.").Set(float64(e.numSrc))
+	reg.Gauge(MetricAssertions, "Assertions in the accumulated stream id space.").Set(float64(e.numAssert))
+	reg.Gauge(MetricClaims, "Claim events accumulated over the stream.").Set(float64(len(e.events)))
+	if !e.lastFit.IsZero() {
+		age := e.clock().Sub(e.lastFit).Seconds()
+		if age < 0 {
+			age = 0
+		}
+		reg.Gauge(MetricLastRefitAge, "Seconds since the last completed refit.").Set(age)
 	}
 }
 
