@@ -17,6 +17,13 @@
 // The special experiment id "benchpar" (never part of "all") measures the
 // wall-clock scaling of the parallel hot paths across worker counts and
 // writes the machine-readable trajectory to -benchout.
+//
+// The special experiment id "benchhot" (also never part of "all") times the
+// estimator's hot-path kernels — dense reference vs production sparse,
+// single-threaded, on Table III-scale and 10× Table III-scale datasets —
+// and writes the report to -hotout. With -hotmin it doubles as a CI gate:
+// the run fails unless every case's dense/sparse speedup reaches the
+// minimum and the kernels' outputs are bit-identical.
 package main
 
 import (
@@ -59,6 +66,8 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		csvDir   = fs.String("csv", "", "also write each experiment's series as CSV into this directory")
 		svgDir   = fs.String("svg", "", "also render each figure as SVG into this directory")
 		benchOut = fs.String("benchout", "BENCH_parallel.json", "benchpar: write the speedup trajectory JSON to this path")
+		hotOut   = fs.String("hotout", "BENCH_hotpath.json", "benchhot: write the dense-vs-sparse kernel timing JSON to this path")
+		hotMin   = fs.Float64("hotmin", 0, "benchhot: fail unless every case's dense/sparse speedup is at least this and the kernels agree bit for bit (0 disables the gate)")
 		traceOut = fs.String("trace", "", "record every estimator iteration across the selected experiments and write the trace as JSONL to this file; inspect with sstrace")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -138,12 +147,15 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		}
 		return false
 	}
-	// benchpar is opt-in only: it is a machine benchmark, not a paper
-	// experiment, so "all" never selects it.
-	wantBench := false
+	// benchpar and benchhot are opt-in only: they are machine benchmarks,
+	// not paper experiments, so "all" never selects them.
+	wantBench, wantHot := false, false
 	for _, s := range selected {
-		if s == "benchpar" {
+		switch s {
+		case "benchpar":
 			wantBench = true
+		case "benchhot":
+			wantHot = true
 		}
 	}
 	if wantBench {
@@ -174,6 +186,46 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s\n(benchpar took %s)\n\n", *benchOut, time.Since(start).Round(time.Millisecond))
+	}
+	if wantHot {
+		o := eval.BenchHotOptions{}
+		if *quick {
+			o = eval.BenchHotOptions{
+				Scales: []eval.BenchHotScale{
+					{Name: "smoke", Sources: 400, Assertions: 300, Claims: 1500},
+				},
+				StepIters: 2, FitIters: 2, Reps: 1,
+			}
+		}
+		start := time.Now()
+		fmt.Fprintln(out, "==== benchhot ====")
+		rep, err := eval.BenchHot(cfg, o)
+		if err != nil {
+			return fmt.Errorf("benchhot: %w", err)
+		}
+		if err := rep.Render(out); err != nil {
+			return err
+		}
+		f, err := os.Create(*hotOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n(benchhot took %s)\n\n", *hotOut, time.Since(start).Round(time.Millisecond))
+		if *hotMin > 0 {
+			if !rep.AllIdentical() {
+				return fmt.Errorf("benchhot: kernel outputs diverged — the dense-reference contract is broken")
+			}
+			if ms := rep.MinSpeedup(); ms < *hotMin {
+				return fmt.Errorf("benchhot: min dense/sparse speedup %.2f is below the required %.2f", ms, *hotMin)
+			}
+		}
 	}
 
 	section := func(id string, fn func() error) error {

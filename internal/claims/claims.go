@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"depsense/internal/mapsort"
+	"depsense/internal/model"
 )
 
 // ClaimRef identifies one claimant of an assertion and whether that claim is
@@ -56,8 +57,86 @@ type Dataset struct {
 	claimsD1BySource [][]int // assertions claimed dependently by i
 	silentD1BySource [][]int // assertions with D=1 where i stayed silent
 
+	// sparse is the flattened CSR/CSC kernel view, frozen at Build time.
+	sparse *SparseView
+
 	numClaims    int
 	numDependent int
+}
+
+// SparseView is the flattened sparse-kernel view of a Dataset: the SC and D
+// nonzero structure packed into model.CSR/model.CSC index arrays, the form
+// the estimator hot paths iterate. Columns are assertions, rows are sources.
+// All fields are frozen at Build time and must not be modified; the
+// slice-of-slices accessors (Claimants, ClaimsD0, ...) and this view always
+// describe the same matrices, in the same per-row / per-column order.
+type SparseView struct {
+	// Claims is SC's nonzero pattern by assertion: Claims.Col(j) lists the
+	// claimants of assertion j in increasing source order.
+	Claims *model.CSC
+	// ClaimDep carries D over SC's nonzeros, aligned with Claims' nonzero
+	// order: ClaimDep[k] is the dependency flag of nonzero k.
+	ClaimDep []bool
+	// Silent is the silent-dependent pattern by assertion (D[i][j] = 1,
+	// SC[i][j] = 0).
+	Silent *model.CSC
+	// ClaimsD0 / ClaimsD1 / SilentD1 are the by-source (CSR) views the
+	// M-step iterates: independent claims, dependent claims, and
+	// silent-dependent pairs of each source, in increasing assertion order.
+	ClaimsD0 *model.CSR
+	ClaimsD1 *model.CSR
+	SilentD1 *model.CSR
+}
+
+// Sparse returns the dataset's flattened CSR/CSC kernel view. The view is
+// built once at Build time and shared by every caller; it is safe for
+// concurrent reads and must not be modified.
+func (d *Dataset) Sparse() *SparseView {
+	if d.sparse == nil {
+		// Zero-value Dataset (n = m = 0): synthesize an empty view so the
+		// kernels need no nil checks. Not cached — caching here would race
+		// with concurrent readers; Build-produced datasets are always cached.
+		return d.buildSparse()
+	}
+	return d.sparse
+}
+
+// buildSparse flattens the sorted slice-of-slices indexes into the packed
+// form. Iteration order is inherited from sortIndexes, so the view meets the
+// CSR/CSC strict-ordering invariant by construction.
+func (d *Dataset) buildSparse() *SparseView {
+	sv := &SparseView{
+		Claims:   &model.CSC{NumRows: d.n, NumCols: d.m, ColPtr: make([]int32, d.m+1)},
+		Silent:   &model.CSC{NumRows: d.n, NumCols: d.m, ColPtr: make([]int32, d.m+1)},
+		ClaimsD0: &model.CSR{NumRows: d.n, NumCols: d.m, RowPtr: make([]int32, d.n+1)},
+		ClaimsD1: &model.CSR{NumRows: d.n, NumCols: d.m, RowPtr: make([]int32, d.n+1)},
+		SilentD1: &model.CSR{NumRows: d.n, NumCols: d.m, RowPtr: make([]int32, d.n+1)},
+	}
+	sv.Claims.Row = make([]int32, 0, d.numClaims)
+	sv.ClaimDep = make([]bool, 0, d.numClaims)
+	for j := 0; j < d.m; j++ {
+		for _, c := range d.byAssertion[j] {
+			sv.Claims.Row = append(sv.Claims.Row, int32(c.Source))
+			sv.ClaimDep = append(sv.ClaimDep, c.Dependent)
+		}
+		sv.Claims.ColPtr[j+1] = int32(len(sv.Claims.Row))
+		for _, i := range d.silentDepByAssertion[j] {
+			sv.Silent.Row = append(sv.Silent.Row, int32(i))
+		}
+		sv.Silent.ColPtr[j+1] = int32(len(sv.Silent.Row))
+	}
+	flattenRows := func(dst *model.CSR, rows [][]int) {
+		for i := 0; i < d.n; i++ {
+			for _, j := range rows[i] {
+				dst.Col = append(dst.Col, int32(j))
+			}
+			dst.RowPtr[i+1] = int32(len(dst.Col))
+		}
+	}
+	flattenRows(sv.ClaimsD0, d.claimsD0BySource)
+	flattenRows(sv.ClaimsD1, d.claimsD1BySource)
+	flattenRows(sv.SilentD1, d.silentD1BySource)
+	return sv
 }
 
 // N returns the number of sources.
@@ -274,6 +353,7 @@ func (b *Builder) Build() (*Dataset, error) {
 		d.silentD1BySource[k.i] = append(d.silentD1BySource[k.i], k.j)
 	}
 	d.sortIndexes()
+	d.sparse = d.buildSparse()
 	return d, nil
 }
 

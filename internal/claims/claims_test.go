@@ -299,3 +299,80 @@ func TestConflictErrorDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestSparseViewMatchesAccessors: the flattened CSR/CSC kernel view and the
+// slice-of-slices accessors describe the same matrices in the same order.
+func TestSparseViewMatchesAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		m := 1 + rng.Intn(30)
+		b := NewBuilder(n, m)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				switch {
+				case rng.Float64() < 0.15:
+					b.AddClaim(i, j, rng.Float64() < 0.4)
+				case rng.Float64() < 0.05:
+					b.MarkSilentDependent(i, j)
+				}
+			}
+		}
+		ds := mustBuild(t, b)
+		sv := ds.Sparse()
+		for _, v := range []interface{ Validate() error }{
+			sv.Claims, sv.Silent, sv.ClaimsD0, sv.ClaimsD1, sv.SilentD1,
+		} {
+			if err := v.Validate(); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+		if len(sv.ClaimDep) != sv.Claims.NNZ() {
+			t.Fatalf("trial %d: ClaimDep length %d != nnz %d", trial, len(sv.ClaimDep), sv.Claims.NNZ())
+		}
+		for j := 0; j < m; j++ {
+			want := ds.Claimants(j)
+			col := sv.Claims.Col(j)
+			if len(col) != len(want) {
+				t.Fatalf("trial %d col %d: %d claimants, want %d", trial, j, len(col), len(want))
+			}
+			base := int(sv.Claims.ColPtr[j])
+			for k, ref := range want {
+				if int(col[k]) != ref.Source || sv.ClaimDep[base+k] != ref.Dependent {
+					t.Fatalf("trial %d col %d entry %d: (%d,%v) want (%d,%v)",
+						trial, j, k, col[k], sv.ClaimDep[base+k], ref.Source, ref.Dependent)
+				}
+			}
+			sil := sv.Silent.Col(j)
+			wantSil := ds.SilentDependents(j)
+			if len(sil) != len(wantSil) {
+				t.Fatalf("trial %d col %d: %d silent, want %d", trial, j, len(sil), len(wantSil))
+			}
+			for k := range sil {
+				if int(sil[k]) != wantSil[k] {
+					t.Fatalf("trial %d col %d silent %d: %d want %d", trial, j, k, sil[k], wantSil[k])
+				}
+			}
+		}
+		rowsMatch := func(name string, row []int32, want []int) {
+			if len(row) != len(want) {
+				t.Fatalf("trial %d %s: len %d want %d", trial, name, len(row), len(want))
+			}
+			for k := range row {
+				if int(row[k]) != want[k] {
+					t.Fatalf("trial %d %s entry %d: %d want %d", trial, name, k, row[k], want[k])
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			rowsMatch("ClaimsD0", sv.ClaimsD0.Row(i), ds.ClaimsD0(i))
+			rowsMatch("ClaimsD1", sv.ClaimsD1.Row(i), ds.ClaimsD1(i))
+			rowsMatch("SilentD1", sv.SilentD1.Row(i), ds.SilentD1(i))
+		}
+	}
+	// Zero-value dataset still yields a structurally valid (empty) view.
+	var zero Dataset
+	if err := zero.Sparse().Claims.Validate(); err != nil {
+		t.Fatalf("zero-value view: %v", err)
+	}
+}

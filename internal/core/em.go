@@ -104,6 +104,15 @@ type Options struct {
 	// decomposition and all reduction orders are fixed (see DESIGN.md,
 	// "Deterministic parallel execution"). 0 or 1 runs serial.
 	Workers int
+	// Kernel selects the hot-path implementation; the zero value is the
+	// production sparse kernel. Both kernels are bit-identical (see Kernel
+	// and DESIGN.md §13); KernelDense exists as the differential-testing
+	// oracle and benchmark baseline.
+	Kernel Kernel
+	// Scratch, when non-nil, supplies preallocated kernel buffers reused
+	// across fits (see Scratch). It must not be shared by concurrent runs;
+	// the concurrent-restarts path ignores it. Nil allocates internally.
+	Scratch *Scratch
 }
 
 // DepMode selects EM-Ext's strategy for the dependent channel (f_i, g_i).
@@ -339,6 +348,9 @@ func runRestartsParallel(ctx context.Context, ds *claims.Dataset, variant Varian
 		err error
 	}
 	slots := make([]slot, opts.Restarts)
+	// A Scratch is exclusive to one running fit; concurrent restarts each
+	// allocate their own.
+	opts.Scratch = nil
 	sctx := runctx.WithSerializedHook(ctx)
 	poolErr := parallel.ForEachCtx(ctx, opts.Restarts, opts.Workers, func(r int) error {
 		slots[r].res, slots[r].err = runRestart(sctx, ds, variant, mode, opts, r)
@@ -403,68 +415,58 @@ func votePosteriors(ds *claims.Dataset, rng interface{ Float64() float64 }, pert
 // the result.
 const emBlockSize = 256
 
-// engine holds the per-run scratch state.
+// engine binds one run's configuration to its Scratch buffers and the
+// dataset's flattened sparse view. All mutable per-iteration state lives in
+// the embedded Scratch, which outlives the engine when the caller passed
+// one through Options.Scratch.
 type engine struct {
 	ds        *claims.Dataset
+	sv        *claims.SparseView
 	variant   Variant
+	kernel    Kernel
 	smooth    float64
 	smoothDep float64
 	workers   int
 
-	// Per-source log-probability tables, refreshed each iteration.
-	logA, log1A []float64
-	logB, log1B []float64
-	logF, log1F []float64
-	logG, log1G []float64
+	*Scratch
+}
 
-	post []float64 // Z_j = P(C_j = 1 | SC_j; θ)
-
-	// Per-source posterior masses by stratum, rebuilt each M-step:
-	// claimed-independent, claimed-dependent, silent-dependent; Z carries
-	// P(true) mass and Y carries P(false) mass.
-	massAZ, massAY []float64
-	massFZ, massFY []float64
-	silZ, silY     []float64
-
-	// Per-block reduction partials (E-step log-likelihood, M-step posterior
-	// mass) and per-source M-step numerators/denominators, allocated once.
-	llPart, zPart []float64
-	nums, dens    [][4]float64
+// newEngine prepares an engine for one fit, borrowing the caller's Scratch
+// when provided (and safe) or allocating a private one.
+func newEngine(ds *claims.Dataset, variant Variant, opts Options) *engine {
+	s := opts.Scratch
+	if s == nil {
+		s = NewScratch()
+	}
+	s.grow(ds.N(), ds.M())
+	return &engine{
+		ds:        ds,
+		sv:        ds.Sparse(),
+		variant:   variant,
+		kernel:    opts.Kernel,
+		smooth:    opts.Smoothing,
+		smoothDep: opts.DepSmoothing,
+		workers:   opts.Workers,
+		Scratch:   s,
+	}
 }
 
 // runOnce executes one EM run. restart is the 0-based restart index, fired
 // through the hook as Iteration.Chain so observers (trace recorders) can
 // attribute records to their restart under parallel fan-out.
 func runOnce(ctx context.Context, ds *claims.Dataset, variant Variant, params *model.Params, seedPost []float64, opts Options, restart int) (*factfind.Result, error) {
-	n, m := ds.N(), ds.M()
-	eng := &engine{
-		ds:        ds,
-		variant:   variant,
-		smooth:    opts.Smoothing,
-		smoothDep: opts.DepSmoothing,
-		workers:   opts.Workers,
-		logA:      make([]float64, n),
-		log1A:     make([]float64, n),
-		logB:      make([]float64, n),
-		log1B:     make([]float64, n),
-		logF:      make([]float64, n),
-		log1F:     make([]float64, n),
-		logG:      make([]float64, n),
-		log1G:     make([]float64, n),
-		post:      make([]float64, m),
-		massAZ:    make([]float64, n),
-		massAY:    make([]float64, n),
-		massFZ:    make([]float64, n),
-		massFY:    make([]float64, n),
-		silZ:      make([]float64, n),
-		silY:      make([]float64, n),
-	}
+	eng := newEngine(ds, variant, opts)
 	params.Clamp()
 	if seedPost != nil {
 		// Vote initialization: derive θ from the seed posteriors via one
 		// M-step before the first E-step.
 		copy(eng.post, seedPost)
 		eng.mStep(params)
+	} else {
+		// A reused Scratch may carry a previous fit's posteriors; zero them
+		// so a cancellation before the first E-step surfaces the same
+		// all-zero partial state a fresh allocation would.
+		clear(eng.post)
 	}
 
 	var (
@@ -484,7 +486,7 @@ func runOnce(ctx context.Context, ds *claims.Dataset, variant Variant, params *m
 			Stopped:       stopped,
 		}
 	}
-	prev := params.Clone()
+	prev := eng.borrowPrev(params)
 	for iter = 1; iter <= opts.MaxIters; iter++ {
 		// One cancellation check per E/M iteration bounds the latency of a
 		// cancel to a single iteration's work, and the partial state — the
@@ -534,16 +536,26 @@ func runOnce(ctx context.Context, ds *claims.Dataset, variant Variant, params *m
 	return result(runctx.StopOf(converged)), nil
 }
 
+// refreshLogs rebuilds the per-source log tables and folds them into the
+// sparse-correction tables the E-step adds per nonzero. model.SafeLog is
+// exactly math.Log on the clamped parameter range ([ProbEpsilon,
+// 1-ProbEpsilon], which Clamp and the M-step guarantee), so routing
+// through it changes no bits while making the log-space intent explicit
+// and keeping degenerate inputs finite.
 func (e *engine) refreshLogs(p *model.Params) {
 	for i, s := range p.Sources {
-		e.logA[i] = math.Log(s.A)
-		e.log1A[i] = math.Log(1 - s.A)
-		e.logB[i] = math.Log(s.B)
-		e.log1B[i] = math.Log(1 - s.B)
-		e.logF[i] = math.Log(s.F)
-		e.log1F[i] = math.Log(1 - s.F)
-		e.logG[i] = math.Log(s.G)
-		e.log1G[i] = math.Log(1 - s.G)
+		la, l1a := model.SafeLog(s.A), model.SafeLog(1-s.A)
+		lb, l1b := model.SafeLog(s.B), model.SafeLog(1-s.B)
+		lf, l1f := model.SafeLog(s.F), model.SafeLog(1-s.F)
+		lg, l1g := model.SafeLog(s.G), model.SafeLog(1-s.G)
+		e.log1A[i] = l1a
+		e.log1B[i] = l1b
+		e.corrA1[i] = la - l1a
+		e.corrB0[i] = lb - l1b
+		e.corrF1[i] = lf - l1a
+		e.corrG0[i] = lg - l1b
+		e.corrSF1[i] = l1f - l1a
+		e.corrSG0[i] = l1g - l1b
 	}
 }
 
@@ -551,65 +563,43 @@ func (e *engine) refreshLogs(p *model.Params) {
 // returns the data log-likelihood (Eq. 7).
 //
 // The all-silent baseline Σ_i log(1-a_i) is shared across assertions; each
-// assertion then applies sparse corrections for its claimants and (under
-// VariantExt) its silent-dependent sources, so the step costs
-// O(n + m + nnz) rather than O(n·m).
+// assertion then applies precomputed sparse corrections for its claimants
+// and (under VariantExt) its silent-dependent sources, so the production
+// kernel costs O(n + m + nnz) rather than O(n·m); see eStepBlockSparse.
 //
 // Assertions shard into fixed blocks: each block writes its posteriors
 // (disjoint slots) and a block-local log-likelihood partial, and the
 // partials are summed in block index order afterwards — the same reduction
-// whether the blocks ran on one goroutine or many.
+// whether the blocks ran on one goroutine or many. At Workers <= 1 the
+// blocks run inline without a closure so the step allocates nothing.
 func (e *engine) eStep(p *model.Params) float64 {
 	var base1, base0 float64
-	for i := range p.Sources {
-		base1 += e.log1A[i]
-		base0 += e.log1B[i]
+	log1A, log1B := e.log1A, e.log1B
+	for i := range log1A {
+		base1 += log1A[i]
+		base0 += log1B[i]
 	}
-	logZ := math.Log(p.Z)
-	log1Z := math.Log(1 - p.Z)
+	logZ := model.SafeLog(p.Z)
+	log1Z := model.SafeLog(1 - p.Z)
 
 	m := e.ds.M()
 	nb := parallel.Blocks(m, emBlockSize)
-	if len(e.llPart) < nb {
-		e.llPart = make([]float64, nb)
-	}
-	_ = parallel.ForEach(nb, e.workers, func(b int) error {
-		lo, hi := parallel.BlockRange(b, m, emBlockSize)
-		ll := 0.0
-		for j := lo; j < hi; j++ {
-			l1, l0 := base1, base0
-			for _, c := range e.ds.Claimants(j) {
-				i := c.Source
-				switch {
-				case e.variant == VariantExt && c.Dependent:
-					l1 += e.logF[i] - e.log1A[i]
-					l0 += e.logG[i] - e.log1B[i]
-				case e.variant == VariantSocial && c.Dependent:
-					// Pair unobserved: remove the baseline silent factor.
-					l1 -= e.log1A[i]
-					l0 -= e.log1B[i]
-				default:
-					l1 += e.logA[i] - e.log1A[i]
-					l0 += e.logB[i] - e.log1B[i]
-				}
-			}
-			if e.variant == VariantExt {
-				for _, i := range e.ds.SilentDependents(j) {
-					l1 += e.log1F[i] - e.log1A[i]
-					l0 += e.log1G[i] - e.log1B[i]
-				}
-			}
-			w1 := l1 + logZ
-			w0 := l0 + log1Z
-			e.post[j] = sigmoidDiff(w1, w0)
-			ll += logSumExp(w1, w0)
+	llPart := e.llPart[:nb]
+	if e.workers <= 1 {
+		for b := 0; b < nb; b++ {
+			lo, hi := parallel.BlockRange(b, m, emBlockSize)
+			llPart[b] = e.eStepBlock(lo, hi, base1, base0, logZ, log1Z)
 		}
-		e.llPart[b] = ll
-		return nil
-	})
+	} else {
+		_ = parallel.ForEach(nb, e.workers, func(b int) error {
+			lo, hi := parallel.BlockRange(b, m, emBlockSize)
+			llPart[b] = e.eStepBlock(lo, hi, base1, base0, logZ, log1Z)
+			return nil
+		})
+	}
 	ll := 0.0
 	for b := 0; b < nb; b++ {
-		ll += e.llPart[b]
+		ll += llPart[b]
 	}
 	return ll
 }
@@ -627,73 +617,39 @@ func (e *engine) mStep(p *model.Params) {
 	// Total posterior mass, reduced block-wise in index order (the same
 	// decomposition as the E-step) so the sum is Workers-independent.
 	nbM := parallel.Blocks(m, emBlockSize)
-	if len(e.zPart) < nbM {
-		e.zPart = make([]float64, nbM)
-	}
-	_ = parallel.ForEach(nbM, e.workers, func(b int) error {
-		lo, hi := parallel.BlockRange(b, m, emBlockSize)
-		z := 0.0
-		for j := lo; j < hi; j++ {
-			z += e.post[j]
+	zPart := e.zPart[:nbM]
+	if e.workers <= 1 {
+		for b := 0; b < nbM; b++ {
+			zPart[b] = e.sumPostBlock(b, m)
 		}
-		e.zPart[b] = z
-		return nil
-	})
+	} else {
+		_ = parallel.ForEach(nbM, e.workers, func(b int) error {
+			zPart[b] = e.sumPostBlock(b, m)
+			return nil
+		})
+	}
 	sumZ := 0.0
 	for b := 0; b < nbM; b++ {
-		sumZ += e.zPart[b]
+		sumZ += zPart[b]
 	}
 	sumY := float64(m) - sumZ
 
 	// Per-source stratum masses and the numerators/denominators of
 	// Eqs. (10)-(13): every source is independent, so source blocks shard
-	// freely; each slot is written exactly once.
-	if e.nums == nil {
-		e.nums = make([][4]float64, n)
-		e.dens = make([][4]float64, n)
-	}
+	// freely; each slot is written exactly once (see mStepBlock).
 	nbN := parallel.Blocks(n, emBlockSize)
-	_ = parallel.ForEach(nbN, e.workers, func(b int) error {
-		lo, hi := parallel.BlockRange(b, n, emBlockSize)
-		for i := lo; i < hi; i++ {
-			e.massAZ[i], e.massAY[i] = 0, 0
-			for _, j := range e.ds.ClaimsD0(i) {
-				e.massAZ[i] += e.post[j]
-				e.massAY[i] += 1 - e.post[j]
-			}
-			e.massFZ[i], e.massFY[i] = 0, 0
-			for _, j := range e.ds.ClaimsD1(i) {
-				e.massFZ[i] += e.post[j]
-				e.massFY[i] += 1 - e.post[j]
-			}
-			e.silZ[i], e.silY[i] = 0, 0
-			for _, j := range e.ds.SilentD1(i) {
-				e.silZ[i] += e.post[j]
-				e.silY[i] += 1 - e.post[j]
-			}
-			var r [4]ratio
-			switch e.variant {
-			case VariantExt:
-				depZ := e.massFZ[i] + e.silZ[i]
-				depY := e.massFY[i] + e.silY[i]
-				r[0] = ratio{e.massAZ[i], sumZ - depZ}
-				r[1] = ratio{e.massAY[i], sumY - depY}
-				r[2] = ratio{e.massFZ[i], depZ}
-				r[3] = ratio{e.massFY[i], depY}
-			case VariantIndependent:
-				r[0] = ratio{e.massAZ[i] + e.massFZ[i], sumZ}
-				r[1] = ratio{e.massAY[i] + e.massFY[i], sumY}
-			case VariantSocial:
-				r[0] = ratio{e.massAZ[i], sumZ - e.massFZ[i]}
-				r[1] = ratio{e.massAY[i], sumY - e.massFY[i]}
-			}
-			for c := 0; c < 4; c++ {
-				e.nums[i][c] = r[c].num
-				e.dens[i][c] = r[c].den
-			}
+	if e.workers <= 1 {
+		for b := 0; b < nbN; b++ {
+			lo, hi := parallel.BlockRange(b, n, emBlockSize)
+			e.mStepBlock(lo, hi, sumZ, sumY)
 		}
-		return nil
-	})
+	} else {
+		_ = parallel.ForEach(nbN, e.workers, func(b int) error {
+			lo, hi := parallel.BlockRange(b, n, emBlockSize)
+			e.mStepBlock(lo, hi, sumZ, sumY)
+			return nil
+		})
+	}
 
 	// Pooled channel totals for shrinkage, accumulated serially in source
 	// index order — a cheap O(n) reduction whose order fixes the result.
@@ -739,6 +695,16 @@ func (e *engine) mStep(p *model.Params) {
 		}
 	}
 	p.Z = model.ClampProb(sumZ / float64(m))
+}
+
+// sumPostBlock sums the posterior mass of assertion block b.
+func (e *engine) sumPostBlock(b, m int) float64 {
+	lo, hi := parallel.BlockRange(b, m, emBlockSize)
+	z := 0.0
+	for j := lo; j < hi; j++ {
+		z += e.post[j]
+	}
+	return z
 }
 
 // ratio is a numerator/denominator pair of posterior masses.

@@ -72,7 +72,10 @@ func runPlugin(ctx context.Context, ds *claims.Dataset, opts Options) (*factfind
 		s := &params.Sources[i]
 		s.F, s.G = f, g
 	}
-	post, ll, err := Posterior(ds, params)
+	// The re-score shares the run's Scratch (and kernel/worker settings):
+	// under DepModePlugin the coarse fit and this single E-step are the
+	// whole run, so a warm-refit caller sees zero kernel reallocations.
+	post, ll, err := PosteriorOpts(ds, params, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -169,6 +172,14 @@ func clampChannel(v float64) float64 {
 // (Eq. 7), without fitting anything — the scoring half of the estimator,
 // usable with known or externally estimated parameters.
 func Posterior(ds *claims.Dataset, p *model.Params) ([]float64, float64, error) {
+	return PosteriorOpts(ds, p, Options{})
+}
+
+// PosteriorOpts is Posterior with the kernel knobs honored: Options.Scratch
+// supplies reusable buffers (the returned posterior slice is always a fresh
+// copy, never an alias of the scratch), Options.Kernel selects the kernel,
+// and Options.Workers shards the E-step. All other options are ignored.
+func PosteriorOpts(ds *claims.Dataset, p *model.Params, opts Options) ([]float64, float64, error) {
 	if ds.N() == 0 || ds.M() == 0 {
 		return nil, 0, ErrEmptyDataset
 	}
@@ -179,23 +190,10 @@ func Posterior(ds *claims.Dataset, p *model.Params) ([]float64, float64, error) 
 		return nil, 0, fmt.Errorf("%w: params have %d sources, dataset %d",
 			ErrParamsShape, p.NumSources(), ds.N())
 	}
-	n, m := ds.N(), ds.M()
-	eng := &engine{
-		ds:      ds,
-		variant: VariantExt,
-		logA:    make([]float64, n),
-		log1A:   make([]float64, n),
-		logB:    make([]float64, n),
-		log1B:   make([]float64, n),
-		logF:    make([]float64, n),
-		log1F:   make([]float64, n),
-		logG:    make([]float64, n),
-		log1G:   make([]float64, n),
-		post:    make([]float64, m),
-	}
+	eng := newEngine(ds, VariantExt, opts)
 	work := p.Clone()
 	work.Clamp()
 	eng.refreshLogs(work)
 	ll := eng.eStep(work)
-	return eng.post, ll, nil
+	return append([]float64(nil), eng.post...), ll, nil
 }

@@ -85,11 +85,19 @@ func (s *Sampler) State() []bool { return s.state }
 // O(H) instead of O(H·n). Numerical drift from incremental updates is
 // bounded by recomputing the products from scratch every refreshEvery
 // sweeps.
+// The per-bit tables are stored bit-major and flattened — entry (k, i)
+// lives at [i*h + k] — so one bit update reads all H components from a
+// single cache line, and exp(logOn)/exp(logOff) are precomputed at
+// construction instead of re-exponentiated on every visit (the same
+// float64 values, so sampling paths are bit-identical to the
+// per-bit-Exp formulation the differential test replays).
 type ProductMixtureChain struct {
 	n        int
 	h        int
-	logOn    [][]float64 // [h][i] log pOn
-	logOff   [][]float64 // [h][i] log (1-pOn)
+	logOn    []float64 // [i*h + k] log pOn[k][i]
+	logOff   []float64 // [i*h + k] log (1-pOn[k][i])
+	expOn    []float64 // [i*h + k] pOn as exp(logOn), the conditional's numerator factor
+	expOff   []float64 // [i*h + k] exp(logOff)
 	logPrior []float64
 	state    []bool
 	logW     []float64 // logPrior[h] + Σ_i log p_h(x_i)
@@ -118,8 +126,10 @@ func NewProductMixtureChain(prior []float64, pOn [][]float64, rng *rand.Rand) (*
 	c := &ProductMixtureChain{
 		n:        n,
 		h:        h,
-		logOn:    make([][]float64, h),
-		logOff:   make([][]float64, h),
+		logOn:    make([]float64, n*h),
+		logOff:   make([]float64, n*h),
+		expOn:    make([]float64, n*h),
+		expOff:   make([]float64, n*h),
 		logPrior: make([]float64, h),
 		state:    make([]bool, n),
 		logW:     make([]float64, h),
@@ -133,14 +143,15 @@ func NewProductMixtureChain(prior []float64, pOn [][]float64, rng *rand.Rand) (*
 			return nil, fmt.Errorf("%w: prior[%d] = %v must be positive", ErrBadMixture, k, prior[k])
 		}
 		c.logPrior[k] = math.Log(prior[k])
-		c.logOn[k] = make([]float64, n)
-		c.logOff[k] = make([]float64, n)
 		for i, p := range pOn[k] {
 			if p <= 0 || p >= 1 {
 				return nil, fmt.Errorf("%w: pOn[%d][%d] = %v must be in (0,1)", ErrBadMixture, k, i, p)
 			}
-			c.logOn[k][i] = math.Log(p)
-			c.logOff[k][i] = math.Log(1 - p)
+			at := i*h + k
+			c.logOn[at] = math.Log(p)
+			c.logOff[at] = math.Log(1 - p)
+			c.expOn[at] = math.Exp(c.logOn[at])
+			c.expOff[at] = math.Exp(c.logOff[at])
 		}
 	}
 	for i := range c.state {
@@ -153,15 +164,16 @@ func NewProductMixtureChain(prior []float64, pOn [][]float64, rng *rand.Rand) (*
 // N returns the vector dimension.
 func (c *ProductMixtureChain) N() int { return c.n }
 
-// recomputeWeights rebuilds the running log-products from the state.
+// recomputeWeights rebuilds the running log-products from the state, each
+// component's sum accumulated in ascending bit order.
 func (c *ProductMixtureChain) recomputeWeights() {
 	for k := 0; k < c.h; k++ {
 		w := c.logPrior[k]
 		for i, on := range c.state {
 			if on {
-				w += c.logOn[k][i]
+				w += c.logOn[i*c.h+k]
 			} else {
-				w += c.logOff[k][i]
+				w += c.logOff[i*c.h+k]
 			}
 		}
 		c.logW[k] = w
@@ -170,15 +182,64 @@ func (c *ProductMixtureChain) recomputeWeights() {
 
 // Sweep resamples every bit once. Each bit uses the exact full conditional
 // P(x_i=1 | x_{-i}) = Σ_h W_h^{-i}·pOn[h][i] / Σ_h W_h^{-i}, where W_h^{-i}
-// is the component joint weight with bit i's factor removed.
+// is the component joint weight with bit i's factor removed. The
+// two-component case — the truth mixture of Section III-B, and by far the
+// dominant caller — runs through an unrolled sweep that keeps the running
+// weights in registers across the whole batch of bits.
 func (c *ProductMixtureChain) Sweep() {
-	for i := 0; i < c.n; i++ {
-		c.sampleBit(i)
+	if c.h == 2 {
+		c.sweep2()
+	} else {
+		for i := 0; i < c.n; i++ {
+			c.sampleBit(i)
+		}
 	}
 	c.sweeps++
 	if c.sweeps%refreshEvery == 0 {
 		c.recomputeWeights()
 	}
+}
+
+// sweep2 is Sweep's batched inner loop for H = 2, bit-identical to the
+// generic path: the same subtractions, the same strict-greater max rule,
+// and the same accumulation order for the conditional's numerator and
+// denominator.
+func (c *ProductMixtureChain) sweep2() {
+	var (
+		logOn, logOff = c.logOn, c.logOff
+		expOn, expOff = c.expOn, c.expOff
+		state         = c.state
+		rng           = c.rng
+		w0, w1        = c.logW[0], c.logW[1]
+	)
+	for i := 0; i < c.n; i++ {
+		at := i * 2
+		cur0, cur1 := logOff[at], logOff[at+1]
+		if state[i] {
+			cur0, cur1 = logOn[at], logOn[at+1]
+		}
+		m0 := w0 - cur0
+		m1 := w1 - cur1
+		maxLog := m0
+		if m1 > maxLog {
+			maxLog = m1
+		}
+		e0 := math.Exp(m0 - maxLog)
+		e1 := math.Exp(m1 - maxLog)
+		num := e0*expOn[at] + e1*expOn[at+1]
+		den := e0*expOff[at] + e1*expOff[at+1]
+		pOne := num / (num + den)
+		on := rng.Float64() < pOne
+		state[i] = on
+		if on {
+			w0 = m0 + logOn[at]
+			w1 = m1 + logOn[at+1]
+		} else {
+			w0 = m0 + logOff[at]
+			w1 = m1 + logOff[at+1]
+		}
+	}
+	c.logW[0], c.logW[1] = w0, w1
 }
 
 func (c *ProductMixtureChain) sampleBit(i int) {
@@ -191,10 +252,11 @@ func (c *ProductMixtureChain) sampleBit(i int) {
 	} else {
 		minusSlice = make([]float64, c.h)
 	}
+	base := i * c.h
 	for k := 0; k < c.h; k++ {
-		cur := c.logOff[k][i]
+		cur := c.logOff[base+k]
 		if c.state[i] {
-			cur = c.logOn[k][i]
+			cur = c.logOn[base+k]
 		}
 		minusSlice[k] = c.logW[k] - cur
 		if minusSlice[k] > maxLog {
@@ -204,17 +266,17 @@ func (c *ProductMixtureChain) sampleBit(i int) {
 	var num, den float64
 	for k := 0; k < c.h; k++ {
 		w := math.Exp(minusSlice[k] - maxLog)
-		num += w * math.Exp(c.logOn[k][i])
-		den += w * math.Exp(c.logOff[k][i])
+		num += w * c.expOn[base+k]
+		den += w * c.expOff[base+k]
 	}
 	pOne := num / (num + den)
 	on := c.rng.Float64() < pOne
 	c.state[i] = on
 	for k := 0; k < c.h; k++ {
 		if on {
-			c.logW[k] = minusSlice[k] + c.logOn[k][i]
+			c.logW[k] = minusSlice[k] + c.logOn[base+k]
 		} else {
-			c.logW[k] = minusSlice[k] + c.logOff[k][i]
+			c.logW[k] = minusSlice[k] + c.logOff[base+k]
 		}
 	}
 }

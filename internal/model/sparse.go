@@ -1,0 +1,318 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Sparse pattern matrices for the hot-path kernels. The SC (source-claim)
+// and D (dependency) matrices of Section II are n×m binary and extremely
+// sparse on social data — a source touches a handful of the thousands of
+// assertions in a dataset — so the estimator kernels iterate their nonzero
+// structure only. CSR (compressed sparse row) serves the by-source loops
+// (the M-step of Eqs. 10-13), CSC (compressed sparse column) the
+// by-assertion loops (the E-step of Eq. 9 and the bound's dependency
+// columns). Both are pattern-only: a nonzero's value is its presence.
+// Per-nonzero payloads (the dependency flag riding on SC's nonzeros) live
+// in caller-owned slices aligned with the nonzero order.
+//
+// Determinism contract: column indices are strictly increasing within every
+// CSR row and row indices strictly increasing within every CSC column, so
+// iteration order — and therefore every floating-point reduction driven by
+// these structures — is a pure function of the matrix, never of the build
+// path. NewCSR/NewCSC sort and deduplicate; Validate checks the invariant
+// for hand-assembled values.
+
+// Pair is one nonzero coordinate of a sparse pattern matrix.
+type Pair struct {
+	Row, Col int
+}
+
+// ErrBadSparse reports a structurally invalid sparse matrix.
+var ErrBadSparse = errors.New("model: invalid sparse matrix")
+
+// CSR is a binary pattern matrix in compressed sparse row form: the column
+// indices of row i are Col[RowPtr[i]:RowPtr[i+1]], strictly increasing.
+type CSR struct {
+	NumRows, NumCols int
+	// RowPtr has NumRows+1 entries; RowPtr[0] = 0 and RowPtr[NumRows] = NNZ.
+	RowPtr []int32
+	// Col holds the nonzeros' column indices, row-major.
+	Col []int32
+}
+
+// CSC is a binary pattern matrix in compressed sparse column form: the row
+// indices of column j are Row[ColPtr[j]:ColPtr[j+1]], strictly increasing.
+type CSC struct {
+	NumRows, NumCols int
+	// ColPtr has NumCols+1 entries; ColPtr[0] = 0 and ColPtr[NumCols] = NNZ.
+	ColPtr []int32
+	// Row holds the nonzeros' row indices, column-major.
+	Row []int32
+}
+
+// NewCSR builds a CSR matrix from nonzero coordinates. Pairs may arrive in
+// any order and may repeat; the result is sorted and deduplicated, so two
+// builds from permutations of the same coordinate set are identical.
+func NewCSR(rows, cols int, pairs []Pair) (*CSR, error) {
+	sorted, err := canonPairs(rows, cols, pairs)
+	if err != nil {
+		return nil, err
+	}
+	a := &CSR{
+		NumRows: rows,
+		NumCols: cols,
+		RowPtr:  make([]int32, rows+1),
+		Col:     make([]int32, 0, len(sorted)),
+	}
+	for _, p := range sorted {
+		a.Col = append(a.Col, int32(p.Col))
+		a.RowPtr[p.Row+1]++
+	}
+	for i := 0; i < rows; i++ {
+		a.RowPtr[i+1] += a.RowPtr[i]
+	}
+	return a, nil
+}
+
+// NewCSC builds a CSC matrix from nonzero coordinates, with the same
+// sort-and-deduplicate canonicalization as NewCSR.
+func NewCSC(rows, cols int, pairs []Pair) (*CSC, error) {
+	a, err := NewCSR(rows, cols, pairs)
+	if err != nil {
+		return nil, err
+	}
+	return a.CSC(), nil
+}
+
+// canonPairs range-checks, sorts row-major, and deduplicates.
+func canonPairs(rows, cols int, pairs []Pair) ([]Pair, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("%w: %d×%d", ErrBadSparse, rows, cols)
+	}
+	sorted := make([]Pair, 0, len(pairs))
+	for _, p := range pairs {
+		if p.Row < 0 || p.Row >= rows || p.Col < 0 || p.Col >= cols {
+			return nil, fmt.Errorf("%w: nonzero (%d,%d) outside %d×%d",
+				ErrBadSparse, p.Row, p.Col, rows, cols)
+		}
+		sorted = append(sorted, p)
+	}
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Row != sorted[b].Row {
+			return sorted[a].Row < sorted[b].Row
+		}
+		return sorted[a].Col < sorted[b].Col
+	})
+	dedup := sorted[:0]
+	for i, p := range sorted {
+		if i == 0 || p != sorted[i-1] {
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup, nil
+}
+
+// CSRFromDense converts a dense boolean matrix (rows of equal length) into
+// CSR form. An empty matrix yields a valid 0×0 CSR.
+func CSRFromDense(d [][]bool) *CSR {
+	rows := len(d)
+	cols := 0
+	if rows > 0 {
+		cols = len(d[0])
+	}
+	a := &CSR{NumRows: rows, NumCols: cols, RowPtr: make([]int32, rows+1)}
+	for i, row := range d {
+		for j, on := range row {
+			if on {
+				a.Col = append(a.Col, int32(j))
+			}
+		}
+		a.RowPtr[i+1] = int32(len(a.Col))
+	}
+	return a
+}
+
+// CSCFromDense converts a dense boolean matrix into CSC form.
+func CSCFromDense(d [][]bool) *CSC {
+	return CSRFromDense(d).CSC()
+}
+
+// NNZ returns the number of nonzeros.
+func (a *CSR) NNZ() int { return len(a.Col) }
+
+// NNZ returns the number of nonzeros.
+func (a *CSC) NNZ() int { return len(a.Row) }
+
+// Row returns the column indices of row i. The slice aliases the matrix and
+// must not be modified.
+func (a *CSR) Row(i int) []int32 { return a.Col[a.RowPtr[i]:a.RowPtr[i+1]] }
+
+// Col returns the row indices of column j. The slice aliases the matrix and
+// must not be modified.
+func (a *CSC) Col(j int) []int32 { return a.Row[a.ColPtr[j]:a.ColPtr[j+1]] }
+
+// Dense materializes the matrix as dense rows. A 0-row matrix yields nil.
+func (a *CSR) Dense() [][]bool {
+	if a.NumRows == 0 {
+		return nil
+	}
+	d := make([][]bool, a.NumRows)
+	for i := range d {
+		d[i] = make([]bool, a.NumCols)
+		for _, j := range a.Row(i) {
+			d[i][j] = true
+		}
+	}
+	return d
+}
+
+// Dense materializes the matrix as dense rows. A 0-row matrix yields nil.
+func (a *CSC) Dense() [][]bool {
+	if a.NumRows == 0 {
+		return nil
+	}
+	d := make([][]bool, a.NumRows)
+	for i := range d {
+		d[i] = make([]bool, a.NumCols)
+	}
+	for j := 0; j < a.NumCols; j++ {
+		for _, i := range a.Col(j) {
+			d[i][j] = true
+		}
+	}
+	return d
+}
+
+// CSC converts to compressed sparse column form via a counting sort over
+// columns — deterministic, and stable in row order, so the CSC invariant
+// (strictly increasing rows per column) follows from the CSR invariant.
+func (a *CSR) CSC() *CSC {
+	t := &CSC{
+		NumRows: a.NumRows,
+		NumCols: a.NumCols,
+		ColPtr:  make([]int32, a.NumCols+1),
+		Row:     make([]int32, len(a.Col)),
+	}
+	for _, j := range a.Col {
+		t.ColPtr[j+1]++
+	}
+	for j := 0; j < a.NumCols; j++ {
+		t.ColPtr[j+1] += t.ColPtr[j]
+	}
+	next := make([]int32, a.NumCols)
+	copy(next, t.ColPtr[:a.NumCols])
+	for i := 0; i < a.NumRows; i++ {
+		for _, j := range a.Row(i) {
+			t.Row[next[j]] = int32(i)
+			next[j]++
+		}
+	}
+	return t
+}
+
+// CSR converts to compressed sparse row form (the inverse of CSR.CSC).
+func (a *CSC) CSR() *CSR {
+	t := &CSR{
+		NumRows: a.NumRows,
+		NumCols: a.NumCols,
+		RowPtr:  make([]int32, a.NumRows+1),
+		Col:     make([]int32, len(a.Row)),
+	}
+	for _, i := range a.Row {
+		t.RowPtr[i+1]++
+	}
+	for i := 0; i < a.NumRows; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int32, a.NumRows)
+	copy(next, t.RowPtr[:a.NumRows])
+	for j := 0; j < a.NumCols; j++ {
+		for _, i := range a.Col(j) {
+			t.Col[next[i]] = int32(j)
+			next[i]++
+		}
+	}
+	return t
+}
+
+// Validate checks the structural invariants: pointer array shape, monotone
+// pointers, in-range indices, and strictly increasing indices within each
+// row — the determinism contract hand-assembled matrices must meet.
+func (a *CSR) Validate() error {
+	return validateCompressed("CSR", a.NumRows, a.NumCols, a.RowPtr, a.Col)
+}
+
+// Validate checks the structural invariants (see CSR.Validate).
+func (a *CSC) Validate() error {
+	return validateCompressed("CSC", a.NumCols, a.NumRows, a.ColPtr, a.Row)
+}
+
+// validateCompressed checks a compressed-axis layout: ptr spans the major
+// axis (outer entries), idx holds minor-axis indices.
+func validateCompressed(kind string, major, minor int, ptr, idx []int32) error {
+	if major < 0 || minor < 0 {
+		return fmt.Errorf("%w: %s dims %d×%d", ErrBadSparse, kind, major, minor)
+	}
+	if len(ptr) != major+1 {
+		return fmt.Errorf("%w: %s pointer length %d, want %d", ErrBadSparse, kind, len(ptr), major+1)
+	}
+	if ptr[0] != 0 || int(ptr[major]) != len(idx) {
+		return fmt.Errorf("%w: %s pointer bounds [%d, %d], want [0, %d]",
+			ErrBadSparse, kind, ptr[0], ptr[major], len(idx))
+	}
+	for o := 0; o < major; o++ {
+		if ptr[o] > ptr[o+1] {
+			return fmt.Errorf("%w: %s pointer decreases at %d", ErrBadSparse, kind, o)
+		}
+		for k := ptr[o] + 1; k < ptr[o+1]; k++ {
+			if idx[k-1] >= idx[k] {
+				return fmt.Errorf("%w: %s indices not strictly increasing in entry %d",
+					ErrBadSparse, kind, o)
+			}
+		}
+	}
+	for _, v := range idx {
+		if v < 0 || int(v) >= minor {
+			return fmt.Errorf("%w: %s index %d outside [0, %d)", ErrBadSparse, kind, v, minor)
+		}
+	}
+	return nil
+}
+
+// Equal reports structural equality (same dimensions and nonzero pattern).
+func (a *CSR) Equal(b *CSR) bool {
+	if a.NumRows != b.NumRows || a.NumCols != b.NumCols || len(a.Col) != len(b.Col) {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.Col {
+		if a.Col[k] != b.Col[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports structural equality (same dimensions and nonzero pattern).
+func (a *CSC) Equal(b *CSC) bool {
+	if a.NumRows != b.NumRows || a.NumCols != b.NumCols || len(a.Row) != len(b.Row) {
+		return false
+	}
+	for j := range a.ColPtr {
+		if a.ColPtr[j] != b.ColPtr[j] {
+			return false
+		}
+	}
+	for k := range a.Row {
+		if a.Row[k] != b.Row[k] {
+			return false
+		}
+	}
+	return true
+}

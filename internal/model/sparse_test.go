@@ -1,0 +1,235 @@
+package model
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randDense draws an n×m boolean matrix with the given density.
+func randDense(rng *rand.Rand, n, m int, density float64) [][]bool {
+	d := make([][]bool, n)
+	for i := range d {
+		d[i] = make([]bool, m)
+		for j := range d[i] {
+			d[i][j] = rng.Float64() < density
+		}
+	}
+	return d
+}
+
+// sparseGrid is the (n, m, density, seed) case grid shared by the property
+// tests, mirroring the kernel differential suite's shape.
+var sparseGrid = []struct {
+	n, m    int
+	density float64
+	seed    int64
+}{
+	{0, 0, 0, 1},
+	{1, 1, 1, 1},
+	{3, 7, 0.0, 2},
+	{5, 5, 0.2, 3},
+	{17, 9, 0.5, 4},
+	{32, 64, 0.05, 5},
+	{64, 32, 0.9, 6},
+}
+
+func TestCSRDenseRoundTrip(t *testing.T) {
+	for _, tc := range sparseGrid {
+		rng := rand.New(rand.NewSource(tc.seed))
+		d := randDense(rng, tc.n, tc.m, tc.density)
+		a := CSRFromDense(d)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("n=%d m=%d: %v", tc.n, tc.m, err)
+		}
+		if back := a.Dense(); !reflect.DeepEqual(back, denseOrNil(d)) {
+			t.Fatalf("n=%d m=%d density=%v: CSR dense round trip drifted", tc.n, tc.m, tc.density)
+		}
+		c := CSCFromDense(d)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("n=%d m=%d: %v", tc.n, tc.m, err)
+		}
+		if back := c.Dense(); !reflect.DeepEqual(back, denseOrNil(d)) {
+			t.Fatalf("n=%d m=%d density=%v: CSC dense round trip drifted", tc.n, tc.m, tc.density)
+		}
+	}
+}
+
+// denseOrNil mirrors Dense's nil-for-empty convention so DeepEqual
+// comparisons do not fail on nil vs empty slice.
+func denseOrNil(d [][]bool) [][]bool {
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}
+
+// TestTransposeRoundTrip: CSR → CSC → CSR and CSC → CSR → CSC are
+// identities, and both directions agree with building from the transposed
+// dense matrix.
+func TestTransposeRoundTrip(t *testing.T) {
+	for _, tc := range sparseGrid {
+		rng := rand.New(rand.NewSource(tc.seed))
+		d := randDense(rng, tc.n, tc.m, tc.density)
+		a := CSRFromDense(d)
+		if got := a.CSC().CSR(); !got.Equal(a) {
+			t.Fatalf("n=%d m=%d: CSR→CSC→CSR not identity", tc.n, tc.m)
+		}
+		c := CSCFromDense(d)
+		if got := c.CSR().CSC(); !got.Equal(c) {
+			t.Fatalf("n=%d m=%d: CSC→CSR→CSC not identity", tc.n, tc.m)
+		}
+		if !a.CSC().Equal(c) {
+			t.Fatalf("n=%d m=%d: CSRFromDense().CSC() != CSCFromDense()", tc.n, tc.m)
+		}
+	}
+}
+
+// TestBuildOrderDeterminism: NewCSR/NewCSC canonicalize, so shuffled and
+// duplicated coordinate lists build byte-identical structures.
+func TestBuildOrderDeterminism(t *testing.T) {
+	for _, tc := range sparseGrid {
+		if tc.n == 0 {
+			continue
+		}
+		rng := rand.New(rand.NewSource(tc.seed))
+		d := randDense(rng, tc.n, tc.m, tc.density)
+		var pairs []Pair
+		for i := range d {
+			for j := range d[i] {
+				if d[i][j] {
+					pairs = append(pairs, Pair{i, j})
+				}
+			}
+		}
+		want, err := NewCSR(tc.n, tc.m, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(CSRFromDense(d)) {
+			t.Fatalf("n=%d m=%d: NewCSR != CSRFromDense", tc.n, tc.m)
+		}
+		shuffled := append([]Pair(nil), pairs...)
+		shuffled = append(shuffled, pairs...) // duplicates must dedup away
+		rng.Shuffle(len(shuffled), func(a, b int) {
+			shuffled[a], shuffled[b] = shuffled[b], shuffled[a]
+		})
+		got, err := NewCSR(tc.n, tc.m, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("n=%d m=%d: shuffled build differs from sorted build", tc.n, tc.m)
+		}
+		gotC, err := NewCSC(tc.n, tc.m, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gotC.Equal(want.CSC()) {
+			t.Fatalf("n=%d m=%d: shuffled CSC build differs", tc.n, tc.m)
+		}
+	}
+}
+
+// TestIterationOrder: Row/Col iteration is strictly increasing — the
+// invariant every floating-point reduction in the kernels leans on.
+func TestIterationOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := randDense(rng, 40, 25, 0.3)
+	a := CSRFromDense(d)
+	for i := 0; i < a.NumRows; i++ {
+		row := a.Row(i)
+		for k := 1; k < len(row); k++ {
+			if row[k-1] >= row[k] {
+				t.Fatalf("row %d not strictly increasing at %d", i, k)
+			}
+		}
+	}
+	c := a.CSC()
+	for j := 0; j < c.NumCols; j++ {
+		col := c.Col(j)
+		for k := 1; k < len(col); k++ {
+			if col[k-1] >= col[k] {
+				t.Fatalf("col %d not strictly increasing at %d", j, k)
+			}
+		}
+	}
+}
+
+func TestNewCSRRejectsOutOfRange(t *testing.T) {
+	for _, p := range []Pair{{-1, 0}, {0, -1}, {3, 0}, {0, 5}} {
+		if _, err := NewCSR(3, 5, []Pair{p}); err == nil {
+			t.Fatalf("NewCSR accepted out-of-range pair %+v", p)
+		}
+	}
+	if _, err := NewCSR(-1, 2, nil); err == nil {
+		t.Fatal("NewCSR accepted negative dimension")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	base := func() *CSR {
+		return CSRFromDense([][]bool{{true, false, true}, {false, true, false}})
+	}
+	cases := []struct {
+		name    string
+		corrupt func(*CSR)
+	}{
+		{"pointer-length", func(a *CSR) { a.RowPtr = a.RowPtr[:len(a.RowPtr)-1] }},
+		{"pointer-decrease", func(a *CSR) { a.RowPtr[1] = 3; a.RowPtr[2] = 2 }},
+		{"index-range", func(a *CSR) { a.Col[0] = 9 }},
+		{"index-order", func(a *CSR) { a.Col[0], a.Col[1] = a.Col[1], a.Col[0] }},
+		{"tail-mismatch", func(a *CSR) { a.RowPtr[len(a.RowPtr)-1] = 1 }},
+	}
+	for _, tc := range cases {
+		a := base()
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: base not valid: %v", tc.name, err)
+		}
+		tc.corrupt(a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s: corruption not caught", tc.name)
+		}
+	}
+}
+
+// FuzzCSRFromDense drives the dense↔sparse↔transpose round trips from
+// fuzzed bit patterns: whatever the matrix, CSRFromDense must validate,
+// round-trip through Dense, and agree with its double transpose.
+func FuzzCSRFromDense(f *testing.F) {
+	f.Add(uint(3), uint(4), []byte{0b1011, 0b0110, 0b0001})
+	f.Add(uint(1), uint(1), []byte{1})
+	f.Add(uint(0), uint(0), []byte{})
+	f.Add(uint(8), uint(8), []byte{0xff, 0x00, 0xaa, 0x55, 0x0f, 0xf0, 0x81, 0x18})
+	f.Fuzz(func(t *testing.T, un, um uint, bits []byte) {
+		n := int(un % 48)
+		m := int(um % 48)
+		d := make([][]bool, n)
+		for i := range d {
+			d[i] = make([]bool, m)
+			for j := range d[i] {
+				k := i*m + j
+				if k/8 < len(bits) {
+					d[i][j] = bits[k/8]&(1<<(k%8)) != 0
+				}
+			}
+		}
+		a := CSRFromDense(d)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("CSR invalid: %v", err)
+		}
+		if back := a.Dense(); !reflect.DeepEqual(back, denseOrNil(d)) {
+			t.Fatal("dense round trip drifted")
+		}
+		c := a.CSC()
+		if err := c.Validate(); err != nil {
+			t.Fatalf("CSC invalid: %v", err)
+		}
+		if !c.CSR().Equal(a) {
+			t.Fatal("double transpose not identity")
+		}
+		if !c.Equal(CSCFromDense(d)) {
+			t.Fatal("CSC() disagrees with CSCFromDense")
+		}
+	})
+}

@@ -74,6 +74,7 @@ type Estimator struct {
 	numAssert int
 
 	params   *model.Params // warm-start parameters from the last fit
+	scratch  *core.Scratch // kernel buffers reused by every refit
 	last     *factfind.Result
 	lastDS   *claims.Dataset
 	fits     int
@@ -95,7 +96,12 @@ func New(opts Options) *Estimator {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Estimator{opts: opts, graph: depgraph.NewGraph(0), clock: clock}
+	return &Estimator{
+		opts:    opts,
+		graph:   depgraph.NewGraph(0),
+		clock:   clock,
+		scratch: core.NewScratch(),
+	}
 }
 
 // Errors returned by the estimator.
@@ -159,6 +165,12 @@ func (e *Estimator) AddBatchContext(ctx context.Context, batch []depgraph.Event)
 	}
 
 	opts := e.opts.EM
+	// Every refit of this estimator runs through the same Scratch, so a
+	// stable-sized stream refits without growing the kernel buffers at all
+	// (AddBatch is not safe for concurrent use, so neither is sharing the
+	// scratch a new hazard; the concurrent-restarts path inside core
+	// ignores it).
+	opts.Scratch = e.scratch
 	warm := e.params != nil && e.params.NumSources() == ds.N()
 	if warm {
 		opts.Init = e.params
