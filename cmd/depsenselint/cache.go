@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"depsense/internal/analysis/framework"
+)
+
+// fileCache implements framework.Cache over one JSON file. A cache whose
+// version string (roster + analyzer docs + go version) differs from the
+// current binary's is discarded wholesale, so analyzer changes invalidate
+// everything and key collisions across configurations are impossible.
+type fileCache struct {
+	path    string
+	version string
+	dirty   bool
+	doc     cacheDoc
+}
+
+type cacheDoc struct {
+	Version string               `json:"version"`
+	Entries map[string]cacheSlot `json:"entries"`
+}
+
+// cacheSlot stores the newest entry per import path; Key identifies the
+// package contents (sources + dependency keys) the entry was computed from.
+type cacheSlot struct {
+	Key   string                `json:"key"`
+	Entry *framework.CacheEntry `json:"entry"`
+}
+
+// openCache loads the cache file, starting empty when the file is missing,
+// unreadable, or from a different analysis configuration.
+func openCache(path, version string) *fileCache {
+	c := &fileCache{path: path, version: version}
+	c.doc.Entries = map[string]cacheSlot{}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var doc cacheDoc
+	if json.Unmarshal(data, &doc) != nil || doc.Version != version || doc.Entries == nil {
+		return c
+	}
+	c.doc = doc
+	return c
+}
+
+// Get implements framework.Cache.
+func (c *fileCache) Get(importPath, key string) (*framework.CacheEntry, bool) {
+	slot, ok := c.doc.Entries[importPath]
+	if !ok || slot.Key != key || slot.Entry == nil {
+		return nil, false
+	}
+	return slot.Entry, true
+}
+
+// Put implements framework.Cache.
+func (c *fileCache) Put(importPath, key string, e *framework.CacheEntry) {
+	c.doc.Entries[importPath] = cacheSlot{Key: key, Entry: e}
+	c.dirty = true
+}
+
+// save writes the cache back when anything changed, creating parent
+// directories as needed.
+func (c *fileCache) save() error {
+	if !c.dirty {
+		return nil
+	}
+	c.doc.Version = c.version
+	data, err := json.Marshal(c.doc)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(c.path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path)
+}

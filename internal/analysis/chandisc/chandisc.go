@@ -1,0 +1,318 @@
+// Package chandisc implements the depsenselint analyzer for channel
+// discipline in pipeline-zone packages (internal/ingest and anything that
+// opts in with //depsense:zone pipeline).
+//
+// The staged ingestion pipeline moves data through bounded channels; a
+// blocking send in one stage deadlocks every stage upstream of it when the
+// consumer stalls, and a double close panics in production. chandisc
+// enforces the two rules DESIGN.md states in prose:
+//
+//  1. A send on a pipeline channel (a chan-typed struct field or function
+//     parameter) must be a select case alongside a cancellation path — a
+//     receive case (normally <-ctx.Done()) or a default (shed). A bare
+//     send gets a suggested fix wrapping it in select { case send:
+//     case <-ctx.Done(): } when a context parameter is in scope.
+//
+//  2. A pipeline channel is closed exactly once, by a defer in its owning
+//     stage: at most one static close site per channel object, and that
+//     close must be deferred so the channel closes on every exit path.
+//
+// Sends and closes on channels local to the enclosing function are exempt:
+// a channel that has not escaped its creator (errCh := make(chan error, 1))
+// cannot stall another stage.
+package chandisc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"depsense/internal/analysis/framework"
+	"depsense/internal/analysis/zonefacts"
+)
+
+// Analyzer enforces pipeline-channel send and close discipline.
+var Analyzer = &framework.Analyzer{
+	Name: "chandisc",
+	Doc: "in pipeline-zone packages, require channel sends to be selects with a " +
+		"cancellation/shed path and channels to be closed exactly once via defer by the owning stage",
+	Requires: []*framework.Analyzer{zonefacts.Analyzer},
+	Run:      run,
+}
+
+// closeSite records one close(ch) call for the exactly-once audit.
+type closeSite struct {
+	call     *ast.CallExpr
+	deferred bool
+	name     string
+}
+
+func run(pass *framework.Pass) error {
+	if !zonefacts.Of(pass).Pipeline {
+		return nil
+	}
+	closes := map[types.Object][]closeSite{}
+	var order []types.Object // report in source order, deterministically
+	for _, file := range pass.Files {
+		checkFile(pass, file, closes, &order)
+	}
+	for _, obj := range order {
+		sites := closes[obj]
+		if len(sites) > 1 {
+			for _, s := range sites[1:] {
+				pass.Reportf(s.call.Pos(),
+					"pipeline channel %s has %d close sites; it must be closed exactly once by its owning stage",
+					s.name, len(sites))
+			}
+		}
+		for _, s := range sites {
+			if !s.deferred {
+				pass.Reportf(s.call.Pos(),
+					"close of pipeline channel %s must be deferred (defer close(%s)) so the owning stage closes it on every exit path",
+					s.name, s.name)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFile(pass *framework.Pass, file *ast.File, closes map[types.Object][]closeSite, order *[]types.Object) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			checkSend(pass, n, stack)
+		case *ast.CallExpr:
+			recordClose(pass, n, stack, closes, order)
+		}
+		return true
+	})
+}
+
+// checkSend flags a send on a non-local pipeline channel that is not a
+// select case with a cancellation or shed path.
+func checkSend(pass *framework.Pass, send *ast.SendStmt, stack []ast.Node) {
+	obj := chanObj(pass, send.Chan)
+	if obj == nil {
+		return
+	}
+	body := enclosingBody(stack[:len(stack)-1])
+	if body == nil || localTo(obj, body) {
+		return
+	}
+	if sel := selectCaseOf(send, stack); sel != nil && hasEscapeClause(sel, send) {
+		return
+	}
+	name := types.ExprString(send.Chan)
+	d := framework.Diagnostic{
+		Pos: send.Pos(),
+		Message: "send on pipeline channel " + name +
+			" must be a select case with a <-ctx.Done() (or default) escape so a stalled consumer cannot wedge the stage",
+	}
+	if fix, ok := wrapSendFix(pass, send, stack); ok {
+		d.SuggestedFixes = []framework.SuggestedFix{fix}
+	}
+	pass.Report(d)
+}
+
+// wrapSendFix builds the mechanical rewrite of a bare send into a
+// cancellation-aware select, when a context.Context parameter is in scope.
+// It assumes tab indentation (the repo is gofmt-clean), deriving the depth
+// from the send's column.
+func wrapSendFix(pass *framework.Pass, send *ast.SendStmt, stack []ast.Node) (framework.SuggestedFix, bool) {
+	ctxName := contextParamName(pass, stack)
+	if ctxName == "" {
+		return framework.SuggestedFix{}, false
+	}
+	col := pass.Fset.Position(send.Pos()).Column
+	if col < 1 {
+		return framework.SuggestedFix{}, false
+	}
+	indent := strings.Repeat("\t", col-1)
+	sendText := types.ExprString(send.Chan) + " <- " + types.ExprString(send.Value)
+	newText := "select {\n" +
+		indent + "case " + sendText + ":\n" +
+		indent + "case <-" + ctxName + ".Done():\n" +
+		indent + "}"
+	return framework.SuggestedFix{
+		Message: "wrap the send in a select with a <-" + ctxName + ".Done() escape",
+		TextEdits: []framework.TextEdit{
+			{Pos: send.Pos(), End: send.End(), NewText: newText},
+		},
+	}, true
+}
+
+// contextParamName returns the name of the innermost enclosing function's
+// context.Context parameter, or "".
+func contextParamName(pass *framework.Pass, stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			ft = fn.Type
+		case *ast.FuncDecl:
+			ft = fn.Type
+		default:
+			continue
+		}
+		for _, p := range ft.Params.List {
+			for _, name := range p.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj != nil && isContext(obj.Type()) {
+					return name.Name
+				}
+			}
+		}
+		// Only the innermost function's parameters are trustworthy: an
+		// outer ctx may be shadowed or out of scope for goroutines.
+		return ""
+	}
+	return ""
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// selectCaseOf returns the SelectStmt in which send is a comm clause, or
+// nil if the send is bare.
+func selectCaseOf(send *ast.SendStmt, stack []ast.Node) *ast.SelectStmt {
+	// stack ends at the send itself; above it sit the comm clause, the
+	// select's body block, and the select (if the send is a case at all).
+	if len(stack) < 4 {
+		return nil
+	}
+	clause, ok := stack[len(stack)-2].(*ast.CommClause)
+	if !ok || clause.Comm != ast.Stmt(send) {
+		return nil
+	}
+	for i := len(stack) - 3; i >= 0 && i >= len(stack)-4; i-- {
+		if sel, ok := stack[i].(*ast.SelectStmt); ok {
+			return sel
+		}
+	}
+	return nil
+}
+
+// hasEscapeClause reports whether the select has, besides the send's own
+// clause, a default or a receive case (the cancellation/shed path).
+func hasEscapeClause(sel *ast.SelectStmt, send *ast.SendStmt) bool {
+	for _, stmt := range sel.Body.List {
+		clause, ok := stmt.(*ast.CommClause)
+		if !ok || clause.Comm == ast.Stmt(send) {
+			continue
+		}
+		if clause.Comm == nil {
+			return true // default: shed
+		}
+		switch c := clause.Comm.(type) {
+		case *ast.ExprStmt:
+			if isReceive(c.X) {
+				return true
+			}
+		case *ast.AssignStmt:
+			if len(c.Rhs) == 1 && isReceive(c.Rhs[0]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isReceive(e ast.Expr) bool {
+	u, ok := e.(*ast.UnaryExpr)
+	return ok && u.Op.String() == "<-"
+}
+
+// recordClose registers close(ch) calls on non-local pipeline channels.
+func recordClose(pass *framework.Pass, call *ast.CallExpr, stack []ast.Node, closes map[types.Object][]closeSite, order *[]types.Object) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+		return
+	}
+	obj := chanObj(pass, call.Args[0])
+	if obj == nil {
+		return
+	}
+	body := enclosingBody(stack[:len(stack)-1])
+	if body == nil || localTo(obj, body) {
+		return
+	}
+	deferred := false
+	if len(stack) >= 2 {
+		if d, ok := stack[len(stack)-2].(*ast.DeferStmt); ok && d.Call == call {
+			deferred = true
+		}
+	}
+	if _, seen := closes[obj]; !seen {
+		*order = append(*order, obj)
+	}
+	closes[obj] = append(closes[obj], closeSite{
+		call:     call,
+		deferred: deferred,
+		name:     types.ExprString(call.Args[0]),
+	})
+}
+
+// chanObj resolves expr to the variable holding the channel — a struct
+// field, parameter, or package-level var — or nil for anything it cannot
+// name (call results, map/slice elements, non-channels).
+func chanObj(pass *framework.Pass, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if isChan(sel.Obj().Type()) {
+				return sel.Obj()
+			}
+		}
+		return nil
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj != nil && isChan(obj.Type()) {
+			return obj
+		}
+		return nil
+	}
+	return nil
+}
+
+func isChan(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// enclosingBody returns the innermost enclosing function body on the stack.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return fn.Body
+		case *ast.FuncDecl:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// localTo reports whether obj is declared inside body (the channel has not
+// escaped its creating stage).
+func localTo(obj types.Object, body *ast.BlockStmt) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Pos() > body.Pos() && v.Pos() < body.End()
+}

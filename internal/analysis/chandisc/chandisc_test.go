@@ -1,0 +1,26 @@
+package chandisc_test
+
+import (
+	"testing"
+
+	"depsense/internal/analysis/analysistest"
+	"depsense/internal/analysis/chandisc"
+)
+
+func TestBasic(t *testing.T) {
+	analysistest.Run(t, chandisc.Analyzer, "testdata/basic")
+}
+
+// TestFix checks the bare-send rewrite against the golden post-fix source.
+func TestFix(t *testing.T) {
+	analysistest.Run(t, chandisc.Analyzer, "testdata/fix")
+}
+
+// TestZoneGate confirms the analyzer is inert outside the pipeline zone:
+// the same violations with no zone directive produce no findings.
+func TestZoneGate(t *testing.T) {
+	findings := analysistest.Findings(t, chandisc.Analyzer, "testdata/nozone", "")
+	if len(findings) != 0 {
+		t.Errorf("expected no findings outside the pipeline zone, got %v", findings)
+	}
+}

@@ -1,0 +1,72 @@
+// Package pipe exercises the chandisc send and close discipline.
+//
+//depsense:zone pipeline
+package pipe
+
+import "context"
+
+type stage struct {
+	out chan int
+}
+
+func (s *stage) bare(ctx context.Context, v int) {
+	s.out <- v // want `send on pipeline channel s\.out must be a select case`
+}
+
+func (s *stage) withCtx(ctx context.Context, v int) {
+	select {
+	case s.out <- v: // ok: cancellation path present
+	case <-ctx.Done():
+	}
+}
+
+func (s *stage) shed(v int) {
+	select {
+	case s.out <- v: // ok: default sheds instead of blocking
+	default:
+	}
+}
+
+func (s *stage) spawned(ctx context.Context, v int) {
+	go func() {
+		s.out <- v // want `send on pipeline channel s\.out must be a select case`
+	}()
+}
+
+func forward(ctx context.Context, out chan<- int, v int) {
+	out <- v // want `send on pipeline channel out must be a select case`
+}
+
+func local() {
+	errCh := make(chan error, 1)
+	errCh <- nil // ok: channel is local to this function
+	close(errCh) // ok: local close is the creator's business
+}
+
+type owner struct {
+	ch chan int
+}
+
+func (o *owner) run() {
+	defer close(o.ch) // ok: one deferred close by the owning stage
+}
+
+type double struct {
+	ch chan int
+}
+
+func (d *double) a() {
+	defer close(d.ch)
+}
+
+func (d *double) b() {
+	defer close(d.ch) // want `d\.ch has 2 close sites`
+}
+
+type eager struct {
+	ch chan int
+}
+
+func (e *eager) finish() {
+	close(e.ch) // want `close of pipeline channel e\.ch must be deferred`
+}

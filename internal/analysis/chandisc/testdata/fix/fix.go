@@ -1,0 +1,16 @@
+// Package fixme carries the chandisc suggested-fix round-trip fixture: the
+// bare send below must be rewritten into the cancellation-aware select in
+// fix.go.golden.
+//
+//depsense:zone pipeline
+package fixme
+
+import "context"
+
+type stage struct {
+	out chan int
+}
+
+func (s *stage) produce(ctx context.Context, v int) {
+	s.out <- v // want `send on pipeline channel s\.out must be a select case`
+}

@@ -1,0 +1,15 @@
+// Package nozone repeats the basic violations without a pipeline zone
+// directive; chandisc must stay silent here.
+package nozone
+
+type stage struct {
+	out chan int
+}
+
+func (s *stage) bare(v int) {
+	s.out <- v
+}
+
+func (s *stage) finish() {
+	close(s.out)
+}

@@ -20,7 +20,7 @@ import (
 	"strings"
 
 	"depsense/internal/analysis/framework"
-	"depsense/internal/analysis/zones"
+	"depsense/internal/analysis/zonefacts"
 )
 
 // Analyzer flags unbounded loops in estimator packages that never consult
@@ -29,13 +29,14 @@ var Analyzer = &framework.Analyzer{
 	Name: "ctxloop",
 	Doc: "flag unbounded for-loops in estimator packages that never consult " +
 		"runctx/ctx cancellation (the run-context contract)",
-	Run: run,
+	Requires: []*framework.Analyzer{zonefacts.Analyzer},
+	Run:      run,
 }
 
 const runctxPath = "depsense/internal/runctx"
 
 func run(pass *framework.Pass) error {
-	if !zones.Estimator[pass.Path] {
+	if !zonefacts.Of(pass).Estimator {
 		return nil
 	}
 	for _, file := range pass.Files {

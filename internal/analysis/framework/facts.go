@@ -1,0 +1,212 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// A Fact is a typed, serializable property attached to a package or to a
+// package-level object (function, method, type, var), produced by one
+// analyzer and consumed by analyzers that declare it in Requires. It mirrors
+// golang.org/x/tools/go/analysis.Fact: fact types must be pointers to
+// JSON-serializable structs (JSON rather than gob so the depsenselint cache
+// file stays human-inspectable), and every type an analyzer exports must be
+// listed in its FactTypes so the driver can decode cached facts.
+//
+// Facts propagate through the import graph: the driver analyzes packages in
+// dependency order, so when an analyzer runs on package P it can import
+// facts previously exported for any package P imports (directly or
+// transitively). This is what lets zone membership and returns-scratch-memory
+// properties follow the call graph instead of living in hard-coded maps.
+type Fact interface {
+	// AFact is a marker method; implementing it declares the type a Fact.
+	AFact()
+}
+
+// objectKey names one package-level object portably across load mechanisms.
+// A source-checked package and the same package imported from export data
+// produce distinct types.Object pointers for the same declaration, so facts
+// are keyed by (package path, object key) strings instead of object
+// identity. Methods are keyed "Recv.Name"; everything else "Name".
+// Non-package-level objects (locals, struct fields) have no stable key and
+// cannot carry object facts — encode those in a package fact instead.
+func objectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return named.Obj().Name() + "." + fn.Name(), true
+		}
+		return fn.Name(), true
+	}
+	// Package-level vars, types, consts: scope lookup must find the object
+	// itself, otherwise it is not package-level.
+	if obj.Pkg().Scope().Lookup(obj.Name()) != obj {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// factKey addresses one fact in the store. Object is "" for package facts.
+type factKey struct {
+	pkg    string // import path
+	object string // objectKey, "" for a package-level fact
+	typ    string // fact type name, e.g. "*zonefacts.ZoneFact"
+}
+
+func factTypeName(f Fact) string { return fmt.Sprintf("%T", f) }
+
+// factStore holds every fact exported during one driver run.
+type factStore struct {
+	m map[factKey]Fact
+}
+
+func newFactStore() *factStore { return &factStore{m: map[factKey]Fact{}} }
+
+func (s *factStore) set(k factKey, f Fact) { s.m[k] = f }
+
+// get copies the stored fact for k into ptr (which must be a pointer to the
+// fact's struct type) and reports whether a fact was found.
+func (s *factStore) get(k factKey, ptr Fact) bool {
+	f, ok := s.m[k]
+	if !ok {
+		return false
+	}
+	rv := reflect.ValueOf(ptr)
+	fv := reflect.ValueOf(f)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() || rv.Type() != fv.Type() {
+		return false
+	}
+	rv.Elem().Set(fv.Elem())
+	return true
+}
+
+// ExportObjectFact attaches fact to obj, a package-level object of the
+// package under analysis. Exporting a fact for an object the key scheme
+// cannot name (locals, fields) is a hard error: the analyzer is relying on
+// propagation that will silently not happen.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) error {
+	key, ok := objectKey(obj)
+	if !ok {
+		return fmt.Errorf("framework: cannot export %s fact for non-package-level object %v", factTypeName(fact), obj)
+	}
+	if err := p.checkFactType(fact); err != nil {
+		return err
+	}
+	p.facts.set(factKey{pkg: obj.Pkg().Path(), object: key, typ: factTypeName(fact)}, fact)
+	return nil
+}
+
+// ImportObjectFact copies the fact of ptr's type previously exported for obj
+// into *ptr. obj may belong to the package under analysis or to any
+// dependency analyzed earlier.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	key, ok := objectKey(obj)
+	if !ok {
+		return false
+	}
+	return p.facts.get(factKey{pkg: obj.Pkg().Path(), object: key, typ: factTypeName(ptr)}, ptr)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) error {
+	if err := p.checkFactType(fact); err != nil {
+		return err
+	}
+	p.facts.set(factKey{pkg: p.Path, typ: factTypeName(fact)}, fact)
+	return nil
+}
+
+// ImportPackageFact copies the package fact of ptr's type for the package
+// with the given import path (the package under analysis or any dependency
+// analyzed earlier) into *ptr.
+func (p *Pass) ImportPackageFact(path string, ptr Fact) bool {
+	return p.facts.get(factKey{pkg: path, typ: factTypeName(ptr)}, ptr)
+}
+
+// checkFactType enforces the FactTypes registration contract, which the
+// cache decoder depends on.
+func (p *Pass) checkFactType(fact Fact) error {
+	for _, ft := range p.Analyzer.FactTypes {
+		if factTypeName(ft) == factTypeName(fact) {
+			return nil
+		}
+	}
+	return fmt.Errorf("framework: analyzer %s exports unregistered fact type %s (add it to FactTypes)", p.Analyzer.Name, factTypeName(fact))
+}
+
+// SavedFact is one serialized fact, as stored in the depsenselint cache:
+// facts for a cache-hit package are re-installed from this form instead of
+// re-running the analyzers that produced them.
+type SavedFact struct {
+	// Object is the objectKey of the fact's object, "" for a package fact.
+	Object string `json:"object,omitempty"`
+	// Type is the fact's registered type name (e.g. "*zonefacts.ZoneFact").
+	Type string `json:"type"`
+	// Value is the fact's JSON encoding.
+	Value json.RawMessage `json:"value"`
+}
+
+// exportedFacts serializes every fact the store holds for pkgPath,
+// deterministically ordered.
+func (s *factStore) exportedFacts(pkgPath string) ([]SavedFact, error) {
+	var out []SavedFact
+	for k, f := range s.m {
+		if k.pkg != pkgPath {
+			continue
+		}
+		raw, err := json.Marshal(f)
+		if err != nil {
+			return nil, fmt.Errorf("framework: encoding fact %s for %s: %v", k.typ, pkgPath, err)
+		}
+		out = append(out, SavedFact{Object: k.object, Type: k.typ, Value: raw})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out, nil
+}
+
+// installFacts decodes cached facts back into the store. types maps
+// registered fact type names to their reflect types (built from the
+// analyzer roster's FactTypes).
+func (s *factStore) installFacts(pkgPath string, saved []SavedFact, types map[string]reflect.Type) error {
+	for _, sf := range saved {
+		rt, ok := types[sf.Type]
+		if !ok {
+			return fmt.Errorf("framework: cached fact of unknown type %s for %s", sf.Type, pkgPath)
+		}
+		fv := reflect.New(rt.Elem())
+		if err := json.Unmarshal(sf.Value, fv.Interface()); err != nil {
+			return fmt.Errorf("framework: decoding cached fact %s for %s: %v", sf.Type, pkgPath, err)
+		}
+		s.set(factKey{pkg: pkgPath, object: sf.Object, typ: sf.Type}, fv.Interface().(Fact))
+	}
+	return nil
+}
+
+// factTypeRegistry collects the fact types registered by a roster.
+func factTypeRegistry(analyzers []*Analyzer) map[string]reflect.Type {
+	types := map[string]reflect.Type{}
+	for _, a := range analyzers {
+		for _, ft := range a.FactTypes {
+			types[factTypeName(ft)] = reflect.TypeOf(ft)
+		}
+	}
+	return types
+}

@@ -1,0 +1,63 @@
+package framework
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ApplyFixes applies the first suggested fix of every finding that carries
+// one to the given file contents, returning the rewritten files (only the
+// files at least one edit touched). Edits within a file must not overlap;
+// overlapping fixes are a hard error so `-fix` can never silently corrupt a
+// source file — rerun after applying a subset instead.
+func ApplyFixes(findings []Finding, sources map[string][]byte) (map[string][]byte, error) {
+	perFile := map[string][]Edit{}
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		for _, e := range f.Fixes[0].Edits {
+			perFile[e.File] = append(perFile[e.File], e)
+		}
+	}
+	out := map[string][]byte{}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, ok := sources[file]
+		if !ok {
+			return nil, fmt.Errorf("framework: fix targets unknown file %s", file)
+		}
+		edits := perFile[file]
+		sort.SliceStable(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		var buf []byte
+		last := 0
+		for i, e := range edits {
+			// Identical duplicate edits (two findings proposing the same
+			// insertion, e.g. the same missing import) collapse to one.
+			if i > 0 && e == edits[i-1] {
+				continue
+			}
+			if e.Start < last {
+				return nil, fmt.Errorf("framework: overlapping fixes in %s at byte %d", file, e.Start)
+			}
+			if e.End > len(src) {
+				return nil, fmt.Errorf("framework: fix edit past end of %s (%d > %d)", file, e.End, len(src))
+			}
+			buf = append(buf, src[last:e.Start]...)
+			buf = append(buf, e.NewText...)
+			last = e.End
+		}
+		buf = append(buf, src[last:]...)
+		out[file] = buf
+	}
+	return out, nil
+}

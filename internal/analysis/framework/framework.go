@@ -28,16 +28,24 @@ import (
 )
 
 // An Analyzer describes one static check. It mirrors
-// golang.org/x/tools/go/analysis.Analyzer minus facts and dependencies,
-// which this suite does not need.
+// golang.org/x/tools/go/analysis.Analyzer, including facts and analyzer
+// dependencies.
 type Analyzer struct {
 	// Name identifies the analyzer in findings and in //lint:allow
 	// directives. Lower-case, no spaces.
 	Name string
 	// Doc is the one-paragraph description shown by `depsenselint -help`.
 	Doc string
+	// Requires lists analyzers that must run (on every package) before
+	// this one; their exported facts are visible to this analyzer's Run.
+	// The driver runs the transitive closure in topological order.
+	Requires []*Analyzer
+	// FactTypes declares every fact type Run may export, one zero value
+	// per type. Exporting an unregistered type is an error; registration
+	// is what lets the cache decode persisted facts.
+	FactTypes []Fact
 	// Run applies the check to one package and reports findings through
-	// pass.Reportf.
+	// pass.Reportf or pass.Report.
 	Run func(pass *Pass) error
 }
 
@@ -54,17 +62,43 @@ type Pass struct {
 	Path string
 
 	diags *[]Diagnostic
+	facts *factStore
 }
 
-// A Diagnostic is one finding at a source position.
+// A Diagnostic is one finding at a source position, optionally carrying
+// mechanical fixes.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// SuggestedFixes are alternative mechanical resolutions; `depsenselint
+	// -fix` applies the first one.
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is one self-contained mechanical resolution of a finding:
+// a set of non-overlapping edits to the package's source files.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces the source in [Pos, End) with NewText. Pos == End
+// inserts.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a fully-formed diagnostic (used by analyzers that attach
+// suggested fixes).
+func (p *Pass) Report(d Diagnostic) {
+	*p.diags = append(*p.diags, d)
 }
 
 // DeterministicMarker is the doc-comment directive that marks a single

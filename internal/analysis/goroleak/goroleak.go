@@ -1,0 +1,154 @@
+// Package goroleak implements the depsenselint analyzer that requires a
+// provable join for every goroutine started in an estimator or
+// deterministic zone package.
+//
+// Those zones promise bit-for-bit reproducible results and bounded
+// shutdown; a goroutine that outlives its spawner breaks both — it keeps
+// mutating shared estimator state after Wait/Close returned, and it leaks
+// under the ingestion soak tests. goroleak accepts a `go` statement when
+// the spawned body carries join evidence:
+//
+//   - it calls Done() on a sync.WaitGroup (normally `defer wg.Done()`), or
+//   - it signals completion over a channel: a send, or a close().
+//
+// For `go f(...)` on a function declared in the same package the callee's
+// body is scanned for the same evidence. Anything else — including
+// goroutines whose body lives in another package — is flagged; genuinely
+// detached workers suppress with //lint:allow goroleak <reason>.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"depsense/internal/analysis/framework"
+	"depsense/internal/analysis/zonefacts"
+)
+
+// Analyzer requires join evidence for zone goroutines.
+var Analyzer = &framework.Analyzer{
+	Name: "goroleak",
+	Doc: "in estimator/deterministic zones, require every go statement to have provable " +
+		"join evidence (WaitGroup Done or a completion-channel send/close)",
+	Requires: []*framework.Analyzer{zonefacts.Analyzer},
+	Run:      run,
+}
+
+func run(pass *framework.Pass) error {
+	z := zonefacts.Of(pass)
+	if !z.Estimator && !z.Deterministic {
+		return nil
+	}
+	decls := localFuncDecls(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !joins(pass, g.Call, decls, map[*ast.FuncDecl]bool{}) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no provable join (WaitGroup Done or completion-channel send/close in its body); "+
+						"a leaked goroutine outlives the run in a reproducibility zone — join it or suppress with //lint:allow goroleak <reason>")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// localFuncDecls indexes this package's function declarations by object, so
+// `go f(...)` can be resolved to f's body.
+func localFuncDecls(pass *framework.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// joins reports whether the go statement's call has join evidence: for a
+// function literal, in its body; for a same-package function, in the
+// callee's body (one level of indirection, cycle-guarded via seen).
+func joins(pass *framework.Pass, call *ast.CallExpr, decls map[*types.Func]*ast.FuncDecl, seen map[*ast.FuncDecl]bool) bool {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return bodyJoins(pass, lit.Body)
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	fd, ok := decls[fn]
+	if !ok || seen[fd] {
+		return false
+	}
+	seen[fd] = true
+	return bodyJoins(pass, fd.Body)
+}
+
+// bodyJoins scans a goroutine body for join evidence.
+func bodyJoins(pass *framework.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if isWaitGroupDone(pass, n) || isClose(pass, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupDone reports whether call is X.Done() for a sync.WaitGroup X.
+func isWaitGroupDone(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isClose reports whether call is the close builtin.
+func isClose(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}

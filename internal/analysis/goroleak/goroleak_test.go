@@ -1,0 +1,21 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"depsense/internal/analysis/analysistest"
+	"depsense/internal/analysis/goroleak"
+)
+
+func TestBasic(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "testdata/basic")
+}
+
+// TestZoneGate confirms goroleak is inert outside estimator/deterministic
+// zones.
+func TestZoneGate(t *testing.T) {
+	findings := analysistest.Findings(t, goroleak.Analyzer, "testdata/nozone", "")
+	if len(findings) != 0 {
+		t.Errorf("expected no findings outside the zones, got %v", findings)
+	}
+}

@@ -1,0 +1,62 @@
+// Package workers exercises goroleak join-evidence detection.
+//
+//depsense:zone estimator
+package workers
+
+import "sync"
+
+func work() {}
+
+func compute() int { return 1 }
+
+func leak() {
+	go func() { // want `goroutine has no provable join`
+		work()
+	}()
+}
+
+func joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // ok: WaitGroup Done
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func handshake() {
+	done := make(chan struct{})
+	go func() { // ok: completion close
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+func result() int {
+	ch := make(chan int, 1)
+	go func() { // ok: result send is the join
+		ch <- compute()
+	}()
+	return <-ch
+}
+
+func runner(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+func namedJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go runner(wg) // ok: callee's body carries the Done
+	wg.Wait()
+}
+
+func namedLeak() {
+	go work() // want `goroutine has no provable join`
+}
+
+func detached() {
+	//lint:allow goroleak metrics flusher is fire-and-forget by design
+	go work()
+}

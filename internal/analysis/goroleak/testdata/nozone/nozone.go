@@ -1,0 +1,7 @@
+// Package nozone leaks a goroutine outside any zone; goroleak must stay
+// silent.
+package nozone
+
+func leak() {
+	go func() {}()
+}

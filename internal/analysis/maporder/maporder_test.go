@@ -17,6 +17,12 @@ func TestMarkerOutsideZone(t *testing.T) {
 	analysistest.Run(t, maporder.Analyzer, "testdata/marked")
 }
 
+// TestSortedKeysFix checks the mapsort.Keys rewrite (including the import
+// insertion) against the golden post-fix source.
+func TestSortedKeysFix(t *testing.T) {
+	analysistest.RunPath(t, maporder.Analyzer, "testdata/fixdet", "depsense/internal/core")
+}
+
 // TestReasonlessAllow verifies that a //lint:allow without a reason is void
 // (the maporder finding survives) and is itself reported under lintallow.
 func TestReasonlessAllow(t *testing.T) {

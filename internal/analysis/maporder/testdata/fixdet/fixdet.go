@@ -1,0 +1,29 @@
+// Package fixdet carries the maporder suggested-fix round-trip fixtures:
+// key-only map ranges rewritten to mapsort.Keys with the import added.
+package fixdet
+
+import (
+	"fmt"
+)
+
+func sum(m map[string]int) int {
+	t := 0
+	for k := range m { // want `range over map`
+		t += m[k]
+	}
+	return t
+}
+
+func names(m map[int]string) {
+	for id := range m { // want `range over map`
+		fmt.Println(m[id])
+	}
+}
+
+func keyAndValue(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want `range over map`
+		t += v // no fix: value-binding form is left to the human
+	}
+	return t
+}

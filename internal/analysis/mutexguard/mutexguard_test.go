@@ -1,0 +1,21 @@
+package mutexguard_test
+
+import (
+	"testing"
+
+	"depsense/internal/analysis/analysistest"
+	"depsense/internal/analysis/mutexguard"
+)
+
+func TestBasic(t *testing.T) {
+	analysistest.Run(t, mutexguard.Analyzer, "testdata/basic")
+}
+
+// TestCrossPackageFact checks that a guard annotation declared in one
+// package is enforced in an importing package via the Guards package fact.
+func TestCrossPackageFact(t *testing.T) {
+	analysistest.RunDirs(t, mutexguard.Analyzer,
+		analysistest.Fixture{Dir: "testdata/lib", ImportPath: "fixturelib/shared"},
+		analysistest.Fixture{Dir: "testdata/use", ImportPath: "fixtureuse/use"},
+	)
+}

@@ -1,0 +1,80 @@
+package basic
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type gauge struct {
+	mu  sync.RWMutex
+	val float64 // guarded by mu
+}
+
+type broken struct {
+	lock int
+	x    int // guarded by lock // want `not a sync\.Mutex/RWMutex sibling field`
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 // ok: local, has not escaped
+	return c
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++ // ok: lock held
+	c.mu.Unlock()
+}
+
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n // ok: deferred unlock does not release before return
+}
+
+func (c *counter) bad() int {
+	return c.n // want `counter\.n is guarded by mu`
+}
+
+func (c *counter) racy() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.n++ // want `counter\.n is guarded by mu`
+}
+
+func (c *counter) valueLocked() int {
+	return c.n // ok: *Locked naming documents the held-lock precondition
+}
+
+func (c *counter) allowed() int {
+	return c.n //lint:allow mutexguard approximate read is fine for monitoring
+}
+
+func (c *counter) leak() {
+	go func() {
+		c.n++ // want `counter\.n is guarded by mu`
+	}()
+}
+
+func (c *counter) nested() {
+	f := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++ // ok: locked inside the literal's own frame
+	}
+	f()
+	c.n++ // want `counter\.n is guarded by mu`
+}
+
+func (g *gauge) get() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val // ok: read lock counts
+}
+
+func (g *gauge) set(v float64) {
+	g.val = v // want `gauge\.val is guarded by mu`
+}

@@ -1,0 +1,16 @@
+// Package shared is the fact-exporting half of the cross-package fixture:
+// it declares a guarded exported field and never misuses it itself.
+package shared
+
+import "sync"
+
+type Box struct {
+	Mu  sync.Mutex
+	Val int // guarded by Mu
+}
+
+func (b *Box) Get() int {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.Val // ok
+}

@@ -1,0 +1,15 @@
+// Package use imports the shared fixture package; the guard contract on
+// Box.Val must arrive here via the exported Guards package fact.
+package use
+
+import "fixturelib/shared"
+
+func Read(b *shared.Box) int {
+	return b.Val // want `Box\.Val is guarded by Mu`
+}
+
+func SafeRead(b *shared.Box) int {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.Val // ok: same discipline as at home
+}

@@ -30,7 +30,7 @@ import (
 	"strings"
 
 	"depsense/internal/analysis/framework"
-	"depsense/internal/analysis/zones"
+	"depsense/internal/analysis/zonefacts"
 )
 
 // Analyzer flags raw-space probability products and exact 0/1 probability
@@ -39,7 +39,8 @@ var Analyzer = &framework.Analyzer{
 	Name: "probexpr",
 	Doc: "flag chained raw-space products of >=4 probability-named factors and " +
 		"==/!= comparisons of probabilities against exact 0/1 literals",
-	Run: run,
+	Requires: []*framework.Analyzer{zonefacts.Analyzer},
+	Run:      run,
 }
 
 // minChain is the factor count at which a raw probability product is
@@ -47,7 +48,7 @@ var Analyzer = &framework.Analyzer{
 const minChain = 4
 
 func run(pass *framework.Pass) error {
-	if !zones.Numeric[pass.Path] {
+	if !zonefacts.Of(pass).Numeric {
 		return nil
 	}
 	for _, file := range pass.Files {

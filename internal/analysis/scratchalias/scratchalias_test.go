@@ -1,0 +1,21 @@
+package scratchalias_test
+
+import (
+	"testing"
+
+	"depsense/internal/analysis/analysistest"
+	"depsense/internal/analysis/scratchalias"
+)
+
+func TestBasic(t *testing.T) {
+	analysistest.Run(t, scratchalias.Analyzer, "testdata/basic")
+}
+
+// TestCrossPackageFact checks that an exported //depsense:borrows function
+// taints its callers in importing packages via the ReturnsScratch fact.
+func TestCrossPackageFact(t *testing.T) {
+	analysistest.RunDirs(t, scratchalias.Analyzer,
+		analysistest.Fixture{Dir: "testdata/lib", ImportPath: "fixturelib/pool"},
+		analysistest.Fixture{Dir: "testdata/use", ImportPath: "fixtureuse/use"},
+	)
+}

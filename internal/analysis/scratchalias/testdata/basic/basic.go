@@ -1,0 +1,62 @@
+// Package scratch exercises scratchalias taint tracking.
+package scratch
+
+type result struct {
+	Posterior []float64
+}
+
+// buf owns the reusable per-fit buffers.
+//
+//depsense:scratch
+type buf struct {
+	post []float64
+	n    int
+}
+
+func (b *buf) borrow() []float64 {
+	return b.post // ok: unexported borrow, becomes a ReturnsScratch fact
+}
+
+func (b *buf) Leak() []float64 {
+	return b.post // want `exported Leak returns scratch-backed memory`
+}
+
+func (b *buf) LeakSlice() []float64 {
+	p := b.post
+	return p[1:] // want `exported LeakSlice returns scratch-backed memory`
+}
+
+func (b *buf) Count() int {
+	return b.n // ok: scalar fields are copied by value anyway
+}
+
+func (b *buf) Copy() []float64 {
+	return append([]float64(nil), b.post...) // ok: append launders
+}
+
+func (b *buf) store(r *result) {
+	r.Posterior = b.post // want `scratch-backed memory stored into field r\.Posterior`
+}
+
+func (b *buf) storeCopy(r *result) {
+	r.Posterior = append([]float64(nil), b.post...) // ok
+}
+
+func (b *buf) literal() *result {
+	return &result{Posterior: b.post} // want `scratch-backed memory stored into field Posterior`
+}
+
+func (b *buf) literalCopy() *result {
+	return &result{Posterior: append([]float64(nil), b.post...)} // ok
+}
+
+func (b *buf) viaBorrow() *result {
+	p := b.borrow()
+	return &result{Posterior: p} // want `scratch-backed memory stored into field Posterior`
+}
+
+func (b *buf) retaint() []float64 {
+	p := b.post
+	p = append([]float64(nil), p...)
+	return p // ok: reassignment to a laundered copy clears the taint
+}

@@ -1,0 +1,17 @@
+// Package pool is the fact-exporting half of the cross-package fixture: an
+// exported, explicitly-declared borrow API over scratch memory.
+package pool
+
+// Pool owns reusable buffers.
+//
+//depsense:scratch
+type Pool struct {
+	buf []float64
+}
+
+// Borrow hands out the pool's buffer for the duration of one fit.
+//
+//depsense:borrows
+func (p *Pool) Borrow() []float64 {
+	return p.buf // ok: declared borrow, exported as a ReturnsScratch fact
+}

@@ -1,0 +1,18 @@
+// Package use imports the pool fixture; Borrow's ReturnsScratch fact must
+// taint its results here.
+package use
+
+import "fixturelib/pool"
+
+type snapshot struct {
+	Values []float64
+}
+
+func capture(p *pool.Pool) *snapshot {
+	v := p.Borrow()
+	return &snapshot{Values: v} // want `scratch-backed memory stored into field Values`
+}
+
+func captureCopy(p *pool.Pool) *snapshot {
+	return &snapshot{Values: append([]float64(nil), p.Borrow()...)} // ok
+}

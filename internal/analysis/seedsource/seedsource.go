@@ -23,7 +23,7 @@ import (
 	"go/ast"
 
 	"depsense/internal/analysis/framework"
-	"depsense/internal/analysis/zones"
+	"depsense/internal/analysis/zonefacts"
 )
 
 // Analyzer flags global-source randomness, ad-hoc RNG construction, and
@@ -32,7 +32,8 @@ var Analyzer = &framework.Analyzer{
 	Name: "seedsource",
 	Doc: "flag math/rand global-source use, rand.Seed, RNG construction outside " +
 		"internal/randutil, and bare time.Now() in clocked zones",
-	Run: run,
+	Requires: []*framework.Analyzer{zonefacts.Analyzer},
+	Run:      run,
 }
 
 // randutilPath is the only package allowed to construct RNGs directly.
@@ -51,7 +52,7 @@ var globalSource = map[string]bool{
 }
 
 func run(pass *framework.Pass) error {
-	inClockedZone := zones.Clocked[pass.Path]
+	inClockedZone := zonefacts.Of(pass).Clocked
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)

@@ -1,0 +1,4 @@
+// Package bad typos a zone name in its directive.
+//
+//depsense:zone pipelines
+package bad

@@ -1,0 +1,4 @@
+// Package good opts into two zones via the in-package directive.
+//
+//depsense:zone pipeline,clocked
+package good

@@ -1,0 +1,25 @@
+package zonefacts_test
+
+import (
+	"strings"
+	"testing"
+
+	"depsense/internal/analysis/analysistest"
+	"depsense/internal/analysis/zonefacts"
+)
+
+// TestValidDirective checks that a well-formed //depsense:zone directive
+// produces no findings. (Membership semantics are exercised by the
+// zone-gated analyzers' own tests, which opt fixtures in via directives.)
+func TestValidDirective(t *testing.T) {
+	analysistest.Run(t, zonefacts.Analyzer, "testdata/good")
+}
+
+// TestUnknownZone checks that a typo'd zone name is reported rather than
+// silently ignored.
+func TestUnknownZone(t *testing.T) {
+	findings := analysistest.Findings(t, zonefacts.Analyzer, "testdata/bad", "")
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, `unknown zone "pipelines"`) {
+		t.Errorf("expected one unknown-zone finding, got %v", findings)
+	}
+}

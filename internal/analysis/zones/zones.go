@@ -6,6 +6,14 @@
 // bit-for-bit reproducible from a seed at any worker count — the contract
 // introduced by the PR 2 parallel execution work. Functions outside these
 // packages can opt in with a "//depsense:deterministic" doc comment.
+//
+// These maps are the root declarations only: analyzers no longer read them
+// directly. The zonefacts analyzer unites them with in-package
+// "//depsense:zone" directives and publishes the result as a package fact,
+// which is what the checking analyzers consume (see
+// internal/analysis/zonefacts). New packages should prefer the in-package
+// directive; the maps remain for the packages that predate it and as the
+// single list the zone-completeness test audits.
 package zones
 
 // Deterministic lists the packages whose outputs must be bit-for-bit
@@ -53,6 +61,14 @@ var Numeric = map[string]bool{
 	"depsense/internal/stats":     true,
 	"depsense/internal/stream":    true,
 	"depsense/internal/synthetic": true,
+}
+
+// Pipeline lists the packages built around staged, bounded-channel
+// pipelines; chandisc requires their channel sends to be shed- or
+// cancellation-aware selects and each channel to be closed exactly once by
+// its owning stage.
+var Pipeline = map[string]bool{
+	"depsense/internal/ingest": true,
 }
 
 // Clocked lists the packages where a bare time.Now() is suspect: either a

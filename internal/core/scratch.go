@@ -21,6 +21,8 @@ import (
 // one run share one engine by design. Buffers grow monotonically and are
 // fully rewritten by each fit, so reuse across datasets of different
 // shapes is safe.
+//
+//depsense:scratch
 type Scratch struct {
 	// Per-source log tables, refreshed each iteration. Only the silent
 	// factors log(1-a_i), log(1-b_i) are kept whole: everything else the

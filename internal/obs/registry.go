@@ -60,7 +60,7 @@ func (k kind) String() string {
 // concurrent use.
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
+	families map[string]*family // guarded by mu
 }
 
 // NewRegistry creates an empty registry.
@@ -81,11 +81,11 @@ type family struct {
 // race-free without the registry lock.
 type series struct {
 	mu     sync.Mutex
-	labels string // canonical `a="b",c="d"` signature, "" for none
-	val    float64
-	counts []uint64
-	sum    float64
-	count  uint64
+	labels string   // canonical `a="b",c="d"` signature, "" for none; immutable
+	val    float64  // guarded by mu
+	counts []uint64 // guarded by mu
+	sum    float64  // guarded by mu
+	count  uint64   // guarded by mu
 }
 
 // Counter is a monotonically increasing metric handle.

@@ -21,12 +21,12 @@ const (
 // Index return the stored trace pointers, which are immutable after Finish.
 type FlightRecorder struct {
 	mu      sync.Mutex
-	ok      ring
-	bad     ring
-	byID    map[string]*entry
-	seq     uint64 // insertion counter; Index orders newest-first by it
-	added   uint64
-	evicted uint64
+	ok      ring              // guarded by mu
+	bad     ring              // guarded by mu
+	byID    map[string]*entry // guarded by mu
+	seq     uint64            // insertion counter; Index orders newest-first by it; guarded by mu
+	added   uint64            // guarded by mu
+	evicted uint64            // guarded by mu
 }
 
 type entry struct {

@@ -251,14 +251,14 @@ func (t *Trace) StripTimings() *Trace {
 // goroutine records stages. A Builder is single-use; Finish seals it.
 type Builder struct {
 	mu       sync.Mutex
-	id       string
-	name     string
-	attrs    []Attr
-	stages   []Stage
-	events   map[string][]Event // algorithm → arrival-order events
-	start    time.Time
-	clock    func() time.Time
-	finished bool
+	id       string             // immutable after NewBuilder
+	name     string             // immutable after NewBuilder
+	attrs    []Attr             // guarded by mu
+	stages   []Stage            // guarded by mu
+	events   map[string][]Event // algorithm → arrival-order events; guarded by mu
+	start    time.Time          // immutable after NewBuilder
+	clock    func() time.Time   // immutable after NewBuilder
+	finished bool               // guarded by mu
 }
 
 // NewBuilder starts a trace record. clock supplies the timing fields; nil
