@@ -24,6 +24,14 @@
 // and writes the report to -hotout. With -hotmin it doubles as a CI gate:
 // the run fails unless every case's dense/sparse speedup reaches the
 // minimum and the kernels' outputs are bit-identical.
+//
+// The special experiment id "benchserve" (also never part of "all") drives
+// the HTTP serving layer with an open-loop load generator — repeating
+// payloads against the result cache and request coalescing, then a
+// saturation burst against a one-slot server — and writes p50/p99 latency,
+// hit/reuse rates, and shed behavior to -serveout. With -servemin it
+// doubles as a CI gate: the run fails unless shedding carried Retry-After,
+// the serving counters reconcile, and the reuse rate reaches the minimum.
 package main
 
 import (
@@ -68,6 +76,8 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		benchOut = fs.String("benchout", "BENCH_parallel.json", "benchpar: write the speedup trajectory JSON to this path")
 		hotOut   = fs.String("hotout", "BENCH_hotpath.json", "benchhot: write the dense-vs-sparse kernel timing JSON to this path")
 		hotMin   = fs.Float64("hotmin", 0, "benchhot: fail unless every case's dense/sparse speedup is at least this and the kernels agree bit for bit (0 disables the gate)")
+		serveOut = fs.String("serveout", "BENCH_serving.json", "benchserve: write the serving-layer load report JSON to this path")
+		serveMin = fs.Float64("servemin", -1, "benchserve: fail unless the reuse rate is at least this, every 429 carried Retry-After, and the serving counters reconcile (negative disables the gate)")
 		traceOut = fs.String("trace", "", "record every estimator iteration across the selected experiments and write the trace as JSONL to this file; inspect with sstrace")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -147,15 +157,17 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		}
 		return false
 	}
-	// benchpar and benchhot are opt-in only: they are machine benchmarks,
-	// not paper experiments, so "all" never selects them.
-	wantBench, wantHot := false, false
+	// benchpar, benchhot, and benchserve are opt-in only: they are machine
+	// benchmarks, not paper experiments, so "all" never selects them.
+	wantBench, wantHot, wantServe := false, false, false
 	for _, s := range selected {
 		switch s {
 		case "benchpar":
 			wantBench = true
 		case "benchhot":
 			wantHot = true
+		case "benchserve":
+			wantServe = true
 		}
 	}
 	if wantBench {
@@ -224,6 +236,38 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 			}
 			if ms := rep.MinSpeedup(); ms < *hotMin {
 				return fmt.Errorf("benchhot: min dense/sparse speedup %.2f is below the required %.2f", ms, *hotMin)
+			}
+		}
+	}
+	if wantServe {
+		o := eval.BenchServeOptions{}
+		if *quick {
+			o = eval.BenchServeOptions{Requests: 150, RatePerSec: 600, Unique: 6, Burst: 12}
+		}
+		start := time.Now()
+		fmt.Fprintln(out, "==== benchserve ====")
+		rep, err := eval.BenchServe(cfg, o)
+		if err != nil {
+			return fmt.Errorf("benchserve: %w", err)
+		}
+		if err := rep.Render(out); err != nil {
+			return err
+		}
+		f, err := os.Create(*serveOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n(benchserve took %s)\n\n", *serveOut, time.Since(start).Round(time.Millisecond))
+		if *serveMin >= 0 {
+			if err := rep.Check(*serveMin); err != nil {
+				return fmt.Errorf("benchserve: %w", err)
 			}
 		}
 	}

@@ -4,6 +4,7 @@
 //
 //	ssserve [-addr :8080] [-topk 100] [-maxbody 33554432] [-seed 1]
 //	        [-metrics] [-pprof addr] [-trace-buffer 64] [-trace-dir dir]
+//	        [-cache-size 256] [-cache-ttl 5m] [-max-inflight 0] [-queue-depth 64]
 //
 // Endpoints: GET /healthz, GET /v1/algorithms, POST /v1/factfind,
 // GET /metrics unless -metrics=false, and the flight-recorder views
@@ -14,6 +15,12 @@
 // net/http/pprof handlers are served on a separate listener so profiling
 // is never exposed on the public address. The server shuts down gracefully
 // on SIGINT/SIGTERM.
+//
+// The serving layer (see DESIGN.md §15) replays repeated identical requests
+// from a content-hash result cache (-cache-size / -cache-ttl), coalesces
+// concurrent identical requests into one pipeline run, and — with
+// -max-inflight set — bounds concurrent computation, queueing up to
+// -queue-depth waiters and shedding the rest with 429 + Retry-After.
 package main
 
 import (
@@ -70,6 +77,10 @@ func run(args []string) error {
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		traceBuf   = fs.Int("trace-buffer", 64, "completed run traces retained by the flight recorder (failed runs get a separate quarter-sized ring); served at GET /debug/runs")
 		traceDir   = fs.String("trace-dir", "", "append every finished run trace to this directory's traces.jsonl (empty = no spill); read offline with sstrace")
+		cacheSize  = fs.Int("cache-size", 256, "result cache capacity in responses (negative = caching disabled)")
+		cacheTTL   = fs.Duration("cache-ttl", 5*time.Minute, "result cache entry lifetime (negative = entries never expire)")
+		maxInFl    = fs.Int("max-inflight", 0, "maximum concurrently executing pipeline computations (0 = unlimited); cache hits and coalesced requests are not counted")
+		queueDepth = fs.Int("queue-depth", 64, "computations allowed to wait for a compute slot when -max-inflight is saturated; beyond it requests are shed with 429")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +104,10 @@ func run(args []string) error {
 		Logger:         logger,
 		TraceBuffer:    *traceBuf,
 		TraceDir:       *traceDir,
+		CacheSize:      *cacheSize,
+		CacheTTL:       *cacheTTL,
+		MaxInFlight:    *maxInFl,
+		QueueDepth:     *queueDepth,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

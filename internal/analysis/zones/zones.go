@@ -69,6 +69,7 @@ var Numeric = map[string]bool{
 // its owning stage.
 var Pipeline = map[string]bool{
 	"depsense/internal/ingest": true,
+	"depsense/internal/serve":  true,
 }
 
 // Clocked lists the packages where a bare time.Now() is suspect: either a
@@ -91,6 +92,7 @@ var Clocked = map[string]bool{
 	"depsense/internal/obs":        true,
 	"depsense/internal/apollo":     true,
 	"depsense/internal/httpapi":    true,
+	"depsense/internal/serve":      true,
 	"depsense/internal/trace":      true,
 	"depsense/cmd/sstrace":         true,
 	"depsense/cmd/ssingest":        true,

@@ -8,6 +8,7 @@ package baselines
 
 import (
 	"context"
+	"strings"
 
 	"depsense/internal/claims"
 	"depsense/internal/core"
@@ -58,6 +59,31 @@ func (e *EMSocial) RunContext(ctx context.Context, ds *claims.Dataset) (*factfin
 	return core.RunCtx(ctx, ds, core.VariantSocial, e.Opts)
 }
 
+// lineup is the single declaration of the algorithm roster: canonical name
+// plus a constructor building exactly one finder. Everything else —
+// All/Extended slices, the name list the HTTP API advertises, and the
+// by-name lookup serving each request — derives from it, so the roster
+// cannot drift between surfaces. The first allCount entries are the
+// paper's Fig. 11 lineup in the paper's order; the remainder are the
+// Pasternack & Roth extensions.
+var lineup = []struct {
+	name string
+	make func(core.Options) factfind.FactFinder
+}{
+	{"EM-Ext", func(o core.Options) factfind.FactFinder { return &core.EMExt{Opts: o} }},
+	{"EM-Social", func(o core.Options) factfind.FactFinder { return &EMSocial{Opts: o} }},
+	{"EM", func(o core.Options) factfind.FactFinder { return &EM{Opts: o} }},
+	{"Voting", func(core.Options) factfind.FactFinder { return &Voting{} }},
+	{"Sums", func(core.Options) factfind.FactFinder { return &Sums{} }},
+	{"Average.Log", func(core.Options) factfind.FactFinder { return &AverageLog{} }},
+	{"Truth-Finder", func(core.Options) factfind.FactFinder { return &TruthFinder{} }},
+	{"Investment", func(core.Options) factfind.FactFinder { return &Investment{} }},
+	{"PooledInvestment", func(core.Options) factfind.FactFinder { return &PooledInvestment{} }},
+}
+
+// allCount is how many lineup entries belong to the paper's evaluation.
+const allCount = 7
+
 // All returns the full algorithm lineup of the empirical evaluation
 // (Fig. 11), in the paper's order: EM-Ext first, then the baselines. Every
 // algorithm is seeded from the same value for reproducibility.
@@ -70,15 +96,11 @@ func All(seed int64) []factfind.FactFinder {
 // model-based algorithm in the lineup. The heuristic fact-finders take no
 // options.
 func AllOpts(opts core.Options) []factfind.FactFinder {
-	return []factfind.FactFinder{
-		&core.EMExt{Opts: opts},
-		&EMSocial{Opts: opts},
-		&EM{Opts: opts},
-		&Voting{},
-		&Sums{},
-		&AverageLog{},
-		&TruthFinder{},
+	out := make([]factfind.FactFinder, 0, allCount)
+	for _, e := range lineup[:allCount] {
+		out = append(out, e.make(opts))
 	}
+	return out
 }
 
 // Extended returns All plus the additional Pasternack & Roth fact-finders
@@ -90,5 +112,34 @@ func Extended(seed int64) []factfind.FactFinder {
 
 // ExtendedOpts is Extended with full control over the shared EM options.
 func ExtendedOpts(opts core.Options) []factfind.FactFinder {
-	return append(AllOpts(opts), &Investment{}, &PooledInvestment{})
+	out := make([]factfind.FactFinder, 0, len(lineup))
+	for _, e := range lineup {
+		out = append(out, e.make(opts))
+	}
+	return out
+}
+
+// ExtendedNames returns the canonical names of the extended lineup, in
+// lineup order, without constructing any finder. Serving layers build this
+// once and answer the algorithm-listing endpoint from the copy.
+func ExtendedNames() []string {
+	names := make([]string, len(lineup))
+	for i, e := range lineup {
+		names[i] = e.name
+	}
+	return names
+}
+
+// ExtendedByName constructs only the named finder (matched
+// case-insensitively against the canonical names) with the given options,
+// or nil when the name is unknown. It exists so a serving hot path
+// resolving one algorithm per request does not instantiate the entire
+// nine-estimator roster just to string-match a name.
+func ExtendedByName(name string, opts core.Options) factfind.FactFinder {
+	for _, e := range lineup {
+		if strings.EqualFold(e.name, name) {
+			return e.make(opts)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,81 @@
+package baselines
+
+import (
+	"testing"
+
+	"depsense/internal/core"
+)
+
+// TestLineupNamesMatchFinders: the table's canonical names must be exactly
+// what each constructed finder reports — the by-name lookup and the
+// advertised name list both depend on it.
+func TestLineupNamesMatchFinders(t *testing.T) {
+	names := ExtendedNames()
+	finders := ExtendedOpts(core.Options{Seed: 1})
+	if len(names) != len(finders) {
+		t.Fatalf("%d names, %d finders", len(names), len(finders))
+	}
+	for i, f := range finders {
+		if f.Name() != names[i] {
+			t.Errorf("lineup[%d]: name %q but finder reports %q", i, names[i], f.Name())
+		}
+	}
+	if len(AllOpts(core.Options{})) != allCount {
+		t.Fatalf("AllOpts length %d, want %d", len(AllOpts(core.Options{})), allCount)
+	}
+}
+
+func TestExtendedByName(t *testing.T) {
+	for _, name := range ExtendedNames() {
+		f := ExtendedByName(name, core.Options{Seed: 1})
+		if f == nil {
+			t.Fatalf("ExtendedByName(%q) = nil", name)
+		}
+		if f.Name() != name {
+			t.Fatalf("ExtendedByName(%q).Name() = %q", name, f.Name())
+		}
+	}
+	// Case-insensitive, like the HTTP API's historical matching.
+	if f := ExtendedByName("em-ext", core.Options{}); f == nil || f.Name() != "EM-Ext" {
+		t.Fatalf("case-insensitive lookup failed: %v", f)
+	}
+	if f := ExtendedByName("Oracle", core.Options{}); f != nil {
+		t.Fatalf("unknown name resolved to %v", f)
+	}
+}
+
+// TestExtendedByNameAllocs locks in the point of the per-request fix: one
+// lookup constructs one finder, not the whole nine-estimator roster.
+func TestExtendedByNameAllocs(t *testing.T) {
+	opts := core.Options{Seed: 1, Workers: 4}
+	allocs := testing.AllocsPerRun(200, func() {
+		if ExtendedByName("EM-Ext", opts) == nil {
+			t.Fatal("lookup failed")
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("ExtendedByName allocates %.1f objects per lookup, want <= 1", allocs)
+	}
+}
+
+// BenchmarkExtendedByName vs BenchmarkExtendedOpts documents the
+// allocation drop from constructing only the selected finder.
+func BenchmarkExtendedByName(b *testing.B) {
+	opts := core.Options{Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ExtendedByName("Truth-Finder", opts) == nil {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkExtendedOpts(b *testing.B) {
+	opts := core.Options{Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(ExtendedOpts(opts)) != len(lineup) {
+			b.Fatal("bad lineup")
+		}
+	}
+}

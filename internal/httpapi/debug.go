@@ -90,10 +90,6 @@ func (s *Server) spillTrace(t *trace.Trace) {
 // handleRunsIndex serves GET /debug/runs: the flight recorder's index,
 // newest first.
 func (s *Server) handleRunsIndex(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
-		return
-	}
 	added, evicted := s.flight.Stats()
 	writeJSON(w, http.StatusOK, struct {
 		Runs    []trace.Summary `json:"runs"`
@@ -105,10 +101,6 @@ func (s *Server) handleRunsIndex(w http.ResponseWriter, r *http.Request) {
 // handleRunByID serves GET /debug/runs/{id}: one retained trace in full,
 // iteration events and diagnostics included.
 func (s *Server) handleRunByID(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
-		return
-	}
 	id := r.PathValue("id")
 	t, ok := s.flight.Get(id)
 	if !ok {

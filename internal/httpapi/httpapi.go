@@ -26,7 +26,6 @@
 package httpapi
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,11 +38,9 @@ import (
 
 	"depsense/internal/apollo"
 	"depsense/internal/baselines"
-	"depsense/internal/core"
 	"depsense/internal/depgraph"
-	"depsense/internal/factfind"
 	"depsense/internal/obs"
-	"depsense/internal/runctx"
+	"depsense/internal/serve"
 	"depsense/internal/trace"
 	"depsense/internal/tweetjson"
 )
@@ -86,6 +83,21 @@ type Options struct {
 	// TraceDir/traces.jsonl — the post-mortem spill read by cmd/sstrace.
 	// The directory must exist; write failures are logged, never fatal.
 	TraceDir string
+	// CacheSize bounds the result cache in responses. 0 selects
+	// DefaultCacheSize; negative disables caching entirely.
+	CacheSize int
+	// CacheTTL bounds how long a cached response may be replayed. 0 selects
+	// DefaultCacheTTL; negative means entries never expire (LRU eviction
+	// still bounds the footprint).
+	CacheTTL time.Duration
+	// MaxInFlight caps concurrently executing pipeline computations
+	// (cache hits and coalesced followers don't count — they compute
+	// nothing). 0 means unlimited.
+	MaxInFlight int
+	// QueueDepth bounds computations waiting for a compute slot when
+	// MaxInFlight is saturated; beyond it requests are shed with 429.
+	// Ignored when MaxInFlight is 0; 0 means no queue (shed immediately).
+	QueueDepth int
 }
 
 // Server is the HTTP facade over the Apollo pipeline.
@@ -98,6 +110,19 @@ type Server struct {
 	mw      *Middleware
 	flight  *trace.FlightRecorder
 	spillMu sync.Mutex // serializes appends to TraceDir/traces.jsonl
+
+	// The serving layer: results keyed by content hash, concurrent
+	// identical computations coalesced, computation bounded by admission.
+	cache     *serve.Cache
+	coalesce  serve.Group
+	admission *serve.Admission
+	// algorithms is the canonical finder name list, built once so
+	// per-request resolution never constructs the nine-estimator roster.
+	algorithms []string
+	// testComputeHook, when set by tests, runs inside the admitted compute
+	// section just before the pipeline executes — used to count and block
+	// leader executions deterministically.
+	testComputeHook func()
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -125,13 +150,27 @@ func New(opts Options) *Server {
 	s := &Server{opts: opts, mux: http.NewServeMux(), reg: reg, log: log, clock: clock,
 		mw: NewMiddleware(reg, log, clock)}
 	s.flight = trace.NewFlightRecorder(opts.TraceBuffer, traceFailedRetention(opts.TraceBuffer))
-	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
-	s.mux.HandleFunc("/v1/algorithms", s.instrument("/v1/algorithms", s.handleAlgorithms))
-	s.mux.HandleFunc("/v1/factfind", s.instrument("/v1/factfind", s.handleFactFind))
-	s.mux.HandleFunc("/debug/runs", s.instrument("/debug/runs", s.handleRunsIndex))
-	s.mux.HandleFunc("/debug/runs/{id}", s.instrument("/debug/runs/{id}", s.handleRunByID))
+	cacheSize, cacheTTL := opts.CacheSize, opts.CacheTTL
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	if cacheTTL == 0 {
+		cacheTTL = DefaultCacheTTL
+	}
+	s.cache = serve.NewCache(cacheSize, cacheTTL)
+	s.admission = serve.NewAdmission(opts.MaxInFlight, opts.QueueDepth,
+		reg.Gauge(MetricComputeInFlight, "Pipeline computations holding a compute slot."),
+		reg.Gauge(MetricComputeQueued, "Pipeline computations queued for a compute slot."))
+	s.algorithms = baselines.ExtendedNames()
+	// Every route is method-restricted by methodOnly (405 + Allow header),
+	// with instrumentation outermost so rejected methods stay counted.
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", methodOnly(http.MethodGet, s.handleHealthz)))
+	s.mux.HandleFunc("/v1/algorithms", s.instrument("/v1/algorithms", methodOnly(http.MethodGet, s.handleAlgorithms)))
+	s.mux.HandleFunc("/v1/factfind", s.instrument("/v1/factfind", methodOnly(http.MethodPost, s.handleFactFind)))
+	s.mux.HandleFunc("/debug/runs", s.instrument("/debug/runs", methodOnly(http.MethodGet, s.handleRunsIndex)))
+	s.mux.HandleFunc("/debug/runs/{id}", s.instrument("/debug/runs/{id}", methodOnly(http.MethodGet, s.handleRunByID)))
 	if !opts.DisableMetrics {
-		s.mux.HandleFunc("/metrics", s.instrument("/metrics", reg.Handler().ServeHTTP))
+		s.mux.HandleFunc("/metrics", s.instrument("/metrics", methodOnly(http.MethodGet, reg.Handler().ServeHTTP)))
 	}
 	return s
 }
@@ -215,31 +254,20 @@ type apiError struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
-		return
-	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write([]byte(`{"status":"ok"}`))
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
-		return
-	}
-	names := make([]string, 0, 9)
-	for _, alg := range baselines.Extended(s.opts.Seed) {
-		names = append(names, alg.Name())
-	}
-	writeJSON(w, http.StatusOK, map[string][]string{"algorithms": names})
+	writeJSON(w, http.StatusOK, map[string][]string{"algorithms": s.algorithms})
 }
 
+// handleFactFind is the serving front door: decode and validate, then try
+// the result cache, then coalesce into (or lead) the one pipeline run for
+// this content hash. The computation itself lives in computeResult
+// (serving.go), which also owns admission control and the deadline-aware
+// budget check.
 func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-		return
-	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var req Request
 	dec := json.NewDecoder(body)
@@ -257,14 +285,24 @@ func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-
-	in, err := s.buildInput(req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	// A conforming payload is exactly one JSON object. Trailing data (a
+	// second object, stray tokens) is a malformed request — and would also
+	// poison the content-hash cache key, which covers only the decoded
+	// fields — so reject it instead of silently ignoring it.
+	if err := dec.Decode(&json.RawMessage{}); !errors.Is(err, io.EOF) {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest,
+			errors.New("decode request: unexpected data after the JSON payload"))
 		return
 	}
-	finder := pickAlgorithm(req.Algorithm, core.Options{Seed: s.opts.Seed, Workers: s.opts.Workers})
-	if finder == nil {
+
+	algorithm, ok := s.canonicalAlgorithm(req.Algorithm)
+	if !ok {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm))
 		return
 	}
@@ -272,79 +310,40 @@ func (s *Server) handleFactFind(w http.ResponseWriter, r *http.Request) {
 	if topK <= 0 {
 		topK = s.opts.DefaultTopK
 	}
-	ctx := r.Context()
-	if s.opts.ComputeTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.opts.ComputeTimeout)
-		defer cancel()
-	}
-	// Estimator telemetry: one metrics exporter plus one trace recorder per
-	// request, composed with MultiHook and serialized so parallel compute
-	// paths (EM restart fan-out at Workers > 1) never fire them
-	// concurrently — counter values and traces stay identical at any worker
-	// count.
-	tb := s.newRunTrace(r, finder.Name())
-	ctx = runctx.WithHook(ctx, runctx.MultiHook(obs.HookExporter(s.reg), tb.Hook()))
-	ctx = runctx.WithSerializedHook(ctx)
-	out, err := apollo.RunContext(ctx, in, finder, apollo.Options{TopK: topK, Clock: s.clock})
-	if out != nil {
-		s.recordStages(out.Stages)
-	}
-	traceID := s.finishRunTrace(tb, out, err)
-	if err != nil {
-		if reason := runctx.Reason(err); reason != "" {
-			// Compute budget exhausted (or client gone) — report the
-			// partial progress, distinguished from estimator failure.
-			s.reg.Counter(MetricComputeExhausted,
-				"Factfind requests rejected with 503 because the compute budget ran out, by stop reason.",
-				obs.L("reason", reason)).Inc()
-			e := apiError{
-				Error:   fmt.Sprintf("compute budget exhausted (%s): %v", reason, err),
-				Stopped: reason,
-				TraceID: traceID,
-			}
-			if out != nil && out.Result != nil {
-				e.Iterations = out.Result.Iterations
-			}
-			writeJSON(w, http.StatusServiceUnavailable, e)
-			return
-		}
-		status := http.StatusBadRequest
-		if !errors.Is(err, apollo.ErrNoMessages) && !errors.Is(err, apollo.ErrGraphSize) {
-			status = http.StatusInternalServerError
-		}
-		writeJSON(w, status, apiError{Error: err.Error(), TraceID: traceID})
+
+	key := s.resultKey(req, algorithm, topK)
+	if resp, ok := s.cachedResponse(key); ok {
+		s.reg.Counter(MetricCacheHits,
+			"Factfind requests answered from the result cache.").Inc()
+		writeServed(w, s.replayCached(r, resp, algorithm), "hit")
 		return
 	}
+	// Every request the cache could not answer counts as a miss — leaders
+	// and coalesced followers alike — so hits + misses equals the total of
+	// validated requests.
+	s.reg.Counter(MetricCacheMisses,
+		"Factfind requests the result cache could not answer.").Inc()
 
-	resp := Response{
-		Algorithm:  finder.Name(),
-		Sources:    out.Dataset.N(),
-		Assertions: out.Dataset.M(),
-		Claims:     out.Dataset.NumClaims(),
-		Dependent:  out.Dataset.NumDependentClaims(),
-		Converged:  out.Result.Converged,
-		Iterations: out.Result.Iterations,
-		Stopped:    out.Result.Stopped,
-		TraceID:    traceID,
+	v, shared := s.coalesce.Do(key, func() any {
+		return s.computeResult(r, req, algorithm, topK, key)
+	})
+	res, _ := v.(*servedResult)
+	if res == nil {
+		writeError(w, http.StatusInternalServerError, errors.New("internal serving failure"))
+		return
 	}
-	for _, c := range out.Ranked {
-		claimants := out.Dataset.Claimants(c)
-		dep := 0
-		for _, cl := range claimants {
-			if cl.Dependent {
-				dep++
-			}
-		}
-		resp.Ranked = append(resp.Ranked, RankedAssertion{
-			Assertion: c,
-			Posterior: out.Result.Posterior[c],
-			Text:      out.RepresentativeText[c],
-			Claims:    len(claimants),
-			Dependent: dep,
-		})
+	state := "miss"
+	if shared {
+		s.reg.Counter(MetricCoalesced,
+			"Factfind requests that attached to an in-flight identical computation.").Inc()
+		state = "coalesced"
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if res.fromCache {
+		// The leader's double-check found the result cached between this
+		// request's miss and its election.
+		state = "hit"
+	}
+	writeServed(w, res, state)
 }
 
 func (s *Server) buildInput(req Request) (apollo.Input, error) {
@@ -367,18 +366,6 @@ func (s *Server) buildInput(req Request) (apollo.Input, error) {
 		msgs[i] = apollo.Message{Source: m.Source, Time: m.Time, Text: m.Text}
 	}
 	return apollo.Input{NumSources: req.Sources, Messages: msgs, Graph: graph}, nil
-}
-
-func pickAlgorithm(name string, opts core.Options) factfind.FactFinder {
-	if name == "" {
-		name = "EM-Ext"
-	}
-	for _, alg := range baselines.ExtendedOpts(opts) {
-		if strings.EqualFold(alg.Name(), name) {
-			return alg
-		}
-	}
-	return nil
 }
 
 // discardLogger is the default when no logger is injected.

@@ -143,8 +143,7 @@ func (s *Server) requestID(r *http.Request) uint64 { return s.mw.RequestID(r) }
 // carry only the stages they completed.
 func (s *Server) recordStages(stages []apollo.StageTiming) {
 	for _, st := range stages {
-		s.reg.Histogram(MetricStageSeconds,
-			"Pipeline per-stage duration in seconds (ingest, cluster, build, fit, rank).",
+		s.reg.Histogram(MetricStageSeconds, helpStageSeconds,
 			nil, obs.L("stage", st.Stage)).Observe(st.Duration.Seconds())
 	}
 }

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test_seconds", "", []float64{0.1, 0.5, 1, 5})
+
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", v)
+	}
+
+	// Ten observations: 4 in (<=0.1), 4 in (<=0.5), 2 in (<=1).
+	for i := 0; i < 4; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(0.3)
+	}
+	h.Observe(0.9)
+	h.Observe(0.9)
+
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 0.1},    // rank 1 → first bucket
+		{0.4, 0.1},  // rank 4 → still first bucket
+		{0.5, 0.5},  // rank 5 → second bucket
+		{0.8, 0.5},  // rank 8 → second bucket
+		{0.9, 1},    // rank 9 → third bucket
+		{1, 1},      // rank 10 → third bucket
+		{-0.5, 0.1}, // clamped to 0
+		{1.5, 1},    // clamped to 1
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantileOverflow: observations beyond the last bucket land
+// in the implicit +Inf bucket; a quantile falling there reports +Inf — the
+// conservative answer for budget checks.
+func TestHistogramQuantileOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_overflow_seconds", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(100) // overflow
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %v, want 1", got)
+	}
+	if got := h.Quantile(1); !math.IsInf(got, 1) {
+		t.Fatalf("p100 = %v, want +Inf", got)
+	}
+}

@@ -175,6 +175,42 @@ func (h *Histogram) Sum() float64 {
 	return h.s.sum
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution from the bucket counts, returning the upper bound of the
+// bucket the quantile falls in — a deliberately conservative (never
+// underestimating) answer, which is what admission control wants when it
+// compares an observed p50 cost against a remaining deadline budget. It
+// returns NaN when the histogram has no observations and +Inf when the
+// quantile lies beyond the last finite bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.s.mu.Lock()
+	count := h.s.count
+	counts := append([]uint64(nil), h.s.counts...)
+	h.s.mu.Unlock()
+	if count == 0 {
+		return math.NaN()
+	}
+	// Rank of the quantile observation, 1-based: ceil(q * count), at least 1.
+	rank := uint64(math.Ceil(q * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return h.buckets[i]
+		}
+	}
+	return math.Inf(1)
+}
+
 // Counter returns the counter series for (name, labels), creating the
 // family (with help text) and series on first use. Registering the same
 // name as a different metric kind panics.

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrShed is returned by Admission.Acquire when both the compute pool and
+// the wait queue are full — the request should be rejected with 429 rather
+// than allowed to pile onto the pool.
+var ErrShed = errors.New("serve: compute pool and admission queue are full")
+
+// Gauge is the slice of obs.Gauge the admission controller needs to mirror
+// its occupancy into the metrics registry. Declared here (instead of
+// importing internal/obs) so the controller stays a pure concurrency
+// primitive and tests can observe transitions with a counter of their own.
+type Gauge interface {
+	Add(v float64)
+}
+
+// nopGauge backs nil gauge arguments.
+type nopGauge struct{}
+
+func (nopGauge) Add(float64) {}
+
+// Admission bounds how many computations run concurrently and how many may
+// wait for a slot. Both bounds are plain buffered channels, so the
+// accounting cannot drift: a slot is a token in `slots`, a queue position a
+// token in `queue`, and the race detector sees every transition.
+//
+// The zero/nil Admission admits everything — the unlimited configuration.
+type Admission struct {
+	slots    chan struct{}
+	queue    chan struct{}
+	inFlight Gauge
+	queued   Gauge
+}
+
+// NewAdmission builds a controller allowing maxInFlight concurrent
+// computations and queueDepth waiters. maxInFlight <= 0 returns nil:
+// admission disabled, Acquire always succeeds immediately. queueDepth <= 0
+// means no queue — when every slot is busy, Acquire sheds on the spot.
+// The gauges (either may be nil) receive +1/-1 on every occupancy change.
+func NewAdmission(maxInFlight, queueDepth int, inFlight, queued Gauge) *Admission {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	a := &Admission{
+		slots:    make(chan struct{}, maxInFlight),
+		inFlight: inFlight,
+		queued:   queued,
+	}
+	if queueDepth > 0 {
+		a.queue = make(chan struct{}, queueDepth)
+	}
+	if a.inFlight == nil {
+		a.inFlight = nopGauge{}
+	}
+	if a.queued == nil {
+		a.queued = nopGauge{}
+	}
+	return a
+}
+
+// Acquire claims a compute slot, waiting in the bounded queue when the pool
+// is busy. It returns a release function that must be called exactly once
+// when the computation finishes. Failure modes: ErrShed when pool and queue
+// are both full, or ctx.Err() when the caller's budget expires while
+// queued. On error the release function is nil and nothing is held.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.inFlight.Add(1)
+		return a.release, nil
+	default:
+	}
+	// Pool busy: take a queue position or shed. A nil queue channel makes
+	// the send unreachable, so queueDepth 0 sheds immediately.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return nil, ErrShed
+	}
+	a.queued.Add(1)
+	defer func() {
+		<-a.queue
+		a.queued.Add(-1)
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.inFlight.Add(1)
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release returns the held slot to the pool.
+func (a *Admission) release() {
+	<-a.slots
+	a.inFlight.Add(-1)
+}
+
+// InFlight reports how many compute slots are currently held.
+func (a *Admission) InFlight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.slots)
+}
+
+// Queued reports how many callers are waiting for a slot.
+func (a *Admission) Queued() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.queue)
+}

@@ -1,0 +1,118 @@
+// Package serve holds the serving-scale building blocks the HTTP facade
+// composes in front of the estimators: a TTL+LRU result cache, a
+// singleflight group that coalesces concurrent identical computations, and
+// a bounded admission controller that sheds load instead of piling it onto
+// the compute pool.
+//
+// The package exists because fit results are pure functions of
+// (dataset, options): two requests carrying the same normalized payload
+// are entitled to byte-identical answers, so the serving layer may answer
+// the second from a cache — or, when they are concurrent, from the very
+// same pipeline run — without ever touching EM. Everything here is
+// stdlib-only and clock-injected (the package sits in the Clocked lint
+// zone): callers pass `now` explicitly so TTL expiry is testable and
+// deterministic.
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Cache is a concurrent-safe result cache with LRU eviction and optional
+// TTL expiry. Values are opaque to the cache; the HTTP layer stores decoded
+// responses and re-stamps per-request fields (trace ids) on replay.
+type Cache struct {
+	mu      sync.Mutex
+	max     int                      // guarded by mu
+	ttl     time.Duration            // guarded by mu
+	order   *list.List               // guarded by mu; front = most recently used
+	entries map[string]*list.Element // guarded by mu
+}
+
+// cacheEntry is one stored (key, value) pair plus its store time for TTL
+// expiry.
+type cacheEntry struct {
+	key    string
+	val    any
+	stored time.Time
+}
+
+// NewCache builds a cache holding at most max entries. A ttl > 0 expires
+// entries that old on their next lookup; ttl <= 0 means entries never
+// expire (LRU eviction still bounds the size). A max <= 0 returns a nil
+// cache, on which every method is a safe no-op — the disabled state.
+func NewCache(max int, ttl time.Duration) *Cache {
+	if max <= 0 {
+		return nil
+	}
+	return &Cache{
+		max:     max,
+		ttl:     ttl,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value stored under key, if present and not expired at
+// `now`, and marks it most recently used. An expired entry is removed on
+// the spot, so a Get-miss after the TTL frees the slot immediately.
+func (c *Cache) Get(key string, now time.Time) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if c.ttl > 0 && now.Sub(e.stored) > c.ttl {
+		c.removeLocked(el)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return e.val, true
+}
+
+// Put stores val under key, stamped at `now`, replacing any existing entry
+// and evicting from the LRU tail until the size bound holds.
+func (c *Cache) Put(key string, val any, now time.Time) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.val, e.stored = val, now
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val, stored: now})
+	for c.order.Len() > c.max {
+		c.removeLocked(c.order.Back())
+	}
+}
+
+// Len reports the number of entries currently held (expired-but-unvisited
+// entries included: expiry is lazy, applied on lookup).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// removeLocked drops one element; callers hold mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	if el == nil {
+		return
+	}
+	c.order.Remove(el)
+	delete(c.entries, el.Value.(*cacheEntry).key)
+}

@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func at(sec int) time.Time { return time.Unix(int64(sec), 0) }
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(2, 0)
+	if _, ok := c.Get("a", at(0)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1, at(0))
+	c.Put("b", 2, at(1))
+	if v, ok := c.Get("a", at(2)); !ok || v.(int) != 1 {
+		t.Fatalf("a = %v, %v", v, ok)
+	}
+	// a is now most recent; inserting c evicts b.
+	c.Put("c", 3, at(3))
+	if _, ok := c.Get("b", at(3)); ok {
+		t.Fatal("LRU tail b survived eviction")
+	}
+	if _, ok := c.Get("a", at(3)); !ok {
+		t.Fatal("recently-used a evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheTTL(t *testing.T) {
+	c := NewCache(4, 10*time.Second)
+	c.Put("a", 1, at(0))
+	if _, ok := c.Get("a", at(10)); !ok {
+		t.Fatal("entry expired at exactly ttl")
+	}
+	if _, ok := c.Get("a", at(11)); ok {
+		t.Fatal("entry survived past ttl")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry still held, len = %d", c.Len())
+	}
+	// Re-putting restamps the entry.
+	c.Put("a", 2, at(20))
+	if v, ok := c.Get("a", at(25)); !ok || v.(int) != 2 {
+		t.Fatalf("restamped entry = %v, %v", v, ok)
+	}
+}
+
+func TestCachePutReplaces(t *testing.T) {
+	c := NewCache(2, 0)
+	c.Put("a", 1, at(0))
+	c.Put("a", 2, at(1))
+	if v, _ := c.Get("a", at(1)); v.(int) != 2 {
+		t.Fatalf("value = %v, want 2", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0, time.Minute) // nil cache
+	c.Put("a", 1, at(0))
+	if _, ok := c.Get("a", at(0)); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache has entries")
+	}
+}
+
+func TestGroupCoalesces(t *testing.T) {
+	var g Group
+	var runs atomic.Int32
+	gate := make(chan struct{})
+	const followers = 7
+
+	var wg sync.WaitGroup
+	results := make([]any, followers+1)
+	sharedCount := atomic.Int32{}
+	for i := 0; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared := g.Do("k", func() any {
+				runs.Add(1)
+				<-gate
+				return "value"
+			})
+			results[i] = v
+			if shared {
+				sharedCount.Add(1)
+			}
+		}(i)
+	}
+	// Wait until the leader plus every follower is attached, then let the
+	// leader finish — deterministic, no sleeps.
+	for g.Pending("k") != followers+1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != followers {
+		t.Fatalf("shared for %d callers, want %d", got, followers)
+	}
+	for i, v := range results {
+		if v != "value" {
+			t.Fatalf("caller %d observed %v", i, v)
+		}
+	}
+	if g.Pending("k") != 0 {
+		t.Fatal("key still pending after completion")
+	}
+}
+
+func TestGroupForgetsBetweenCalls(t *testing.T) {
+	var g Group
+	runs := 0
+	for i := 0; i < 3; i++ {
+		v, shared := g.Do("k", func() any { runs++; return runs })
+		if shared {
+			t.Fatalf("call %d unexpectedly shared", i)
+		}
+		if v.(int) != i+1 {
+			t.Fatalf("call %d = %v", i, v)
+		}
+	}
+	if runs != 3 {
+		t.Fatalf("sequential calls coalesced: runs = %d", runs)
+	}
+}
+
+// countGauge verifies the controller mirrors occupancy transitions.
+type countGauge struct{ v atomic.Int64 }
+
+func (g *countGauge) Add(v float64) { g.v.Add(int64(v)) }
+
+func TestAdmissionFastPath(t *testing.T) {
+	inF, q := &countGauge{}, &countGauge{}
+	a := NewAdmission(2, 1, inF, q)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InFlight() != 2 || inF.v.Load() != 2 {
+		t.Fatalf("in-flight = %d/%d, want 2", a.InFlight(), inF.v.Load())
+	}
+	r1()
+	r2()
+	if a.InFlight() != 0 || inF.v.Load() != 0 {
+		t.Fatalf("in-flight after release = %d/%d, want 0", a.InFlight(), inF.v.Load())
+	}
+}
+
+func TestAdmissionSheds(t *testing.T) {
+	a := NewAdmission(1, 0, nil, nil)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("second acquire err = %v, want ErrShed", err)
+	}
+	release()
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	r2()
+	if a.InFlight() != 0 || a.Queued() != 0 {
+		t.Fatalf("accounting dirty: inflight=%d queued=%d", a.InFlight(), a.Queued())
+	}
+}
+
+func TestAdmissionQueueThenShed(t *testing.T) {
+	a := NewAdmission(1, 1, nil, nil)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second caller queues.
+	got := make(chan error, 1)
+	var qrel func()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r, err := a.Acquire(context.Background())
+		qrel = r
+		got <- err
+	}()
+	for a.Queued() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	// Third caller finds pool and queue full: shed.
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("overflow acquire err = %v, want ErrShed", err)
+	}
+	release()
+	<-done
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire err = %v", err)
+	}
+	qrel()
+	if a.InFlight() != 0 || a.Queued() != 0 {
+		t.Fatalf("accounting dirty: inflight=%d queued=%d", a.InFlight(), a.Queued())
+	}
+}
+
+func TestAdmissionQueueRespectsDeadline(t *testing.T) {
+	a := NewAdmission(1, 4, nil, nil)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire err = %v, want DeadlineExceeded", err)
+	}
+	if a.Queued() != 0 {
+		t.Fatalf("queue position leaked: %d", a.Queued())
+	}
+	release()
+	if a.InFlight() != 0 {
+		t.Fatalf("in-flight leaked: %d", a.InFlight())
+	}
+}
+
+func TestAdmissionUnlimited(t *testing.T) {
+	var a *Admission // nil: the unlimited configuration
+	for i := 0; i < 100; i++ {
+		release, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	if NewAdmission(0, 5, nil, nil) != nil {
+		t.Fatal("maxInFlight 0 should disable admission")
+	}
+}
+
+// TestAdmissionConcurrentAccounting hammers the controller from many
+// goroutines; under -race this is the in-flight-accounting proof the
+// acceptance criteria ask for.
+func TestAdmissionConcurrentAccounting(t *testing.T) {
+	inF, q := &countGauge{}, &countGauge{}
+	a := NewAdmission(4, 8, inF, q)
+	var wg sync.WaitGroup
+	var admitted, shed atomic.Int64
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := a.Acquire(context.Background())
+			switch {
+			case err == nil:
+				if n := a.InFlight(); n > 4 {
+					t.Errorf("in-flight %d exceeds limit 4", n)
+				}
+				admitted.Add(1)
+				time.Sleep(time.Millisecond)
+				release()
+			case errors.Is(err, ErrShed):
+				shed.Add(1)
+			default:
+				t.Errorf("unexpected acquire error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted.Load()+shed.Load() != 64 {
+		t.Fatalf("admitted %d + shed %d != 64", admitted.Load(), shed.Load())
+	}
+	if a.InFlight() != 0 || a.Queued() != 0 || inF.v.Load() != 0 || q.v.Load() != 0 {
+		t.Fatalf("accounting dirty after drain: inflight=%d queued=%d gauges=%d/%d",
+			a.InFlight(), a.Queued(), inF.v.Load(), q.v.Load())
+	}
+}

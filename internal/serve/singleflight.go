@@ -1,0 +1,87 @@
+package serve
+
+import "sync"
+
+// flightCall is one in-flight computation shared by every concurrent caller
+// of the same key. val is written by the leader before done is closed; the
+// close is the happens-before edge that publishes it to followers.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	// waiters counts attached followers; accessed only under Group.mu.
+	waiters int
+}
+
+// Group coalesces concurrent calls with the same key into one execution:
+// the first caller (the leader) runs fn, everyone else (the followers)
+// blocks until the leader finishes and observes the same value. Unlike
+// x/sync/singleflight there is no error channel — the serving layer folds
+// failures into the shared value itself, so followers replay exactly the
+// bytes the leader produced.
+type Group struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall // guarded by mu
+}
+
+// Do executes fn under key, coalescing concurrent duplicates: exactly one
+// caller runs fn; the rest wait and receive the leader's value with
+// shared=true. Once the leader returns, the key is forgotten — later calls
+// start a fresh execution (the result cache, not the group, carries values
+// forward in time). If the leader's fn panics, followers observe a nil
+// value (and the panic propagates on the leader's goroutine); callers must
+// treat nil as an internal failure.
+func (g *Group) Do(key string, fn func() any) (v any, shared bool) {
+	c, leader := g.join(key)
+	if !leader {
+		<-c.done
+		return c.val, true
+	}
+	g.lead(key, c, fn)
+	return c.val, false
+}
+
+// join attaches the caller to key's flight, creating it when absent, and
+// reports whether the caller is its leader.
+func (g *Group) join(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// Pending reports how many callers are currently attached to key: 0 when
+// idle, leader + followers otherwise. Tests use it to know a coalescing
+// scenario is fully assembled before releasing the leader.
+func (g *Group) Pending(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.calls[key]
+	if !ok {
+		return 0
+	}
+	return c.waiters + 1
+}
+
+// lead runs fn as the key's leader. The deferred close is what releases the
+// followers; deferring it (and the map cleanup before it, LIFO) means even
+// a panicking fn cannot strand them.
+func (g *Group) lead(key string, c *flightCall, fn func() any) {
+	defer close(c.done)
+	defer g.forget(key)
+	c.val = fn()
+}
+
+// forget detaches key so the next caller starts a new execution.
+func (g *Group) forget(key string) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+}
