@@ -32,6 +32,13 @@
 // hit/reuse rates, and shed behavior to -serveout. With -servemin it
 // doubles as a CI gate: the run fails unless shedding carried Retry-After,
 // the serving counters reconcile, and the reuse rate reaches the minimum.
+//
+// The special experiment id "benchqual" (also never part of "all") replays
+// a seeded twittersim stream through the streaming estimator with the
+// estimation-quality monitor attached, times every ObserveRefit separately
+// from the refit it rides, and writes the overhead report to -qualout.
+// With -qualmax it doubles as a CI gate: the run fails if the monitor
+// costs more than that fraction of the fitting time.
 package main
 
 import (
@@ -78,6 +85,8 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		hotMin   = fs.Float64("hotmin", 0, "benchhot: fail unless every case's dense/sparse speedup is at least this and the kernels agree bit for bit (0 disables the gate)")
 		serveOut = fs.String("serveout", "BENCH_serving.json", "benchserve: write the serving-layer load report JSON to this path")
 		serveMin = fs.Float64("servemin", -1, "benchserve: fail unless the reuse rate is at least this, every 429 carried Retry-After, and the serving counters reconcile (negative disables the gate)")
+		qualOut  = fs.String("qualout", "BENCH_quality.json", "benchqual: write the quality-monitor overhead report JSON to this path")
+		qualMax  = fs.Float64("qualmax", -1, "benchqual: fail if the monitor costs more than this fraction of the fits it rides (negative disables the gate)")
 		traceOut = fs.String("trace", "", "record every estimator iteration across the selected experiments and write the trace as JSONL to this file; inspect with sstrace")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -157,9 +166,10 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		}
 		return false
 	}
-	// benchpar, benchhot, and benchserve are opt-in only: they are machine
-	// benchmarks, not paper experiments, so "all" never selects them.
-	wantBench, wantHot, wantServe := false, false, false
+	// benchpar, benchhot, benchserve, and benchqual are opt-in only: they
+	// are machine benchmarks, not paper experiments, so "all" never selects
+	// them.
+	wantBench, wantHot, wantServe, wantQual := false, false, false, false
 	for _, s := range selected {
 		switch s {
 		case "benchpar":
@@ -168,6 +178,8 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 			wantHot = true
 		case "benchserve":
 			wantServe = true
+		case "benchqual":
+			wantQual = true
 		}
 	}
 	if wantBench {
@@ -268,6 +280,40 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		if *serveMin >= 0 {
 			if err := rep.Check(*serveMin); err != nil {
 				return fmt.Errorf("benchserve: %w", err)
+			}
+		}
+	}
+	if wantQual {
+		o := eval.BenchQualOptions{}
+		if *quick {
+			// Large enough that the fit dwarfs timer noise: at smaller
+			// scales the ~0.1 ms monitor share makes the ratio jumpy.
+			o = eval.BenchQualOptions{Scale: 20, Batch: 64, Reps: 2}
+		}
+		start := time.Now()
+		fmt.Fprintln(out, "==== benchqual ====")
+		rep, err := eval.BenchQual(cfg, o)
+		if err != nil {
+			return fmt.Errorf("benchqual: %w", err)
+		}
+		if err := rep.Render(out); err != nil {
+			return err
+		}
+		f, err := os.Create(*qualOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n(benchqual took %s)\n\n", *qualOut, time.Since(start).Round(time.Millisecond))
+		if *qualMax >= 0 {
+			if err := rep.Check(*qualMax); err != nil {
+				return fmt.Errorf("benchqual: %w", err)
 			}
 		}
 	}

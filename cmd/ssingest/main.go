@@ -10,10 +10,15 @@
 //	         [-batch 64] [-interval 0] [-workers 1] [-topk 100]
 //	         [-data dir] [-snapshot-every 16] [-addr :8090] [-once]
 //	         [-trace-buffer 64] [-trace-dir dir]
+//	         [-quality] [-quality-lambda 0.4] [-quality-bound-every 8]
 //
 // Endpoints on -addr: GET /healthz, /v1/rankings, /statusz, /metrics, and
 // the per-refit flight recorder at /debug/runs[/{id}]; -addr "" disables
-// the HTTP surface (batch-job mode). -interval > 0 paces emission like a
+// the HTTP surface (batch-job mode). -quality attaches the estimation-
+// quality monitor (internal/qual): per-refit calibration and drift
+// verdicts at /debug/quality, alarm counters on /metrics, and — when
+// -trace-dir is set — a quality.jsonl spill next to traces.jsonl for
+// offline auditing with ssqual. -interval > 0 paces emission like a
 // live stream; 0 replays as fast as the pipeline drains. With -data, every
 // batch is committed to an fsynced claim log before it is applied and the
 // model is snapshotted periodically, so restarting with the same -data
@@ -37,6 +42,7 @@ import (
 
 	"depsense/internal/core"
 	"depsense/internal/ingest"
+	"depsense/internal/qual"
 	"depsense/internal/randutil"
 	"depsense/internal/stream"
 	"depsense/internal/twittersim"
@@ -66,6 +72,9 @@ func run(args []string) error {
 		once      = fs.Bool("once", false, "exit when the firehose is exhausted instead of idling")
 		traceBuf  = fs.Int("trace-buffer", 64, "refit traces retained by the flight recorder, served at /debug/runs")
 		traceDir  = fs.String("trace-dir", "", "append every refit trace to this directory's traces.jsonl (read offline with sstrace)")
+		quality   = fs.Bool("quality", false, "run the estimation-quality monitor: /debug/quality, alarm metrics, and (with -trace-dir) a quality.jsonl spill for ssqual")
+		qualLam   = fs.Float64("quality-lambda", 0, "drift alarm threshold override (0 = qual default)")
+		qualBound = fs.Int("quality-bound-every", 0, "evaluate the error bound every n refits (0 = qual default, negative = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +101,16 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var qualOpts *qual.Options
+	if *quality {
+		qualOpts = &qual.Options{
+			DriftLambda: *qualLam,
+			BoundEvery:  *qualBound,
+			BoundSeed:   *emSeed,
+			Workers:     *workers,
+		}
+	}
+
 	pipe, err := ingest.New(ctx, source, ingest.Options{
 		Stream:        stream.Options{EM: core.Options{Seed: *emSeed, Workers: *workers}},
 		BatchSize:     *batch,
@@ -101,6 +120,7 @@ func run(args []string) error {
 		Logger:        logger,
 		TraceBuffer:   *traceBuf,
 		TraceDir:      *traceDir,
+		Quality:       qualOpts,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,166 @@
+// Command ssqual inspects estimation-quality spills recorded by the
+// serving stack — the quality.jsonl written next to traces.jsonl by a
+// quality-monitored ingest pipeline (internal/qual), or a report saved
+// from GET /debug/quality — entirely offline.
+//
+// Usage:
+//
+//	ssqual [-ece 0.5] [-ticks N] [-check] quality.jsonl [file2.jsonl ...]
+//
+// For every file it prints the run header (ticks, dataset growth), the
+// latest verdict's calibration summary (ECE, disagreement, implied error),
+// drift detector state, and the standing bound-versus-empirical
+// comparison, followed by every alarm in tick order with its offending
+// window. -ticks additionally prints the last N per-tick verdict lines.
+// With -check, it exits non-zero when any alarm fired, the latest bound
+// comparison has empirical error above the paper's bound, or the latest
+// ECE exceeds the -ece threshold — the CI guard form, the quality
+// counterpart of sstrace -check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"depsense/internal/mapsort"
+	"depsense/internal/qual"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssqual:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ssqual", flag.ContinueOnError)
+	var (
+		eceMax = fs.Float64("ece", 0, "fail -check when the latest ECE exceeds this (0 = no ECE gate)")
+		ticks  = fs.Int("ticks", 0, "print the last N per-tick verdict lines (0 = summary only)")
+		check  = fs.Bool("check", false, "exit non-zero on alarms, bound exceeded, or ECE above -ece")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: ssqual [-ece 0.5] [-ticks N] [-check] quality.jsonl ...")
+	}
+
+	var problems []string
+	for _, path := range fs.Args() {
+		verdicts, err := qual.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		printFile(out, path, verdicts, *ticks, &problems)
+		if len(verdicts) == 0 {
+			continue
+		}
+		last := verdicts[len(verdicts)-1]
+		for _, v := range verdicts {
+			for _, a := range v.Alarms {
+				problems = append(problems, fmt.Sprintf("%s: %s alarm at tick %d (stat %.4g > %.4g)",
+					path, a.Kind, a.Tick, a.Stat, a.Threshold))
+			}
+		}
+		if b := last.Bound; b != nil && b.Exceeded {
+			problems = append(problems, fmt.Sprintf("%s: empirical error %.4g exceeds bound %.4g (tick %d)",
+				path, b.Observed, b.Bound, b.Tick))
+		}
+		if *eceMax > 0 && last.Calibration.ECE > *eceMax {
+			problems = append(problems, fmt.Sprintf("%s: latest ECE %.4g exceeds %.4g",
+				path, last.Calibration.ECE, *eceMax))
+		}
+	}
+	if *check && len(problems) > 0 {
+		return fmt.Errorf("%d problem(s):\n  %s", len(problems), strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// printFile renders one spill: header, latest-verdict summary, alarm list,
+// and optionally the per-tick tail.
+func printFile(out io.Writer, path string, verdicts []*qual.Verdict, tailTicks int, problems *[]string) {
+	if len(verdicts) == 0 {
+		fmt.Fprintf(out, "%s: empty spill\n", path)
+		return
+	}
+	first, last := verdicts[0], verdicts[len(verdicts)-1]
+	fmt.Fprintf(out, "%s: %d verdict(s), ticks %d..%d, dataset %dx%d -> %dx%d (%d claims)\n",
+		path, len(verdicts), first.Tick, last.Tick,
+		first.Sources, first.Assertions, last.Sources, last.Assertions, last.Claims)
+
+	c := last.Calibration
+	fmt.Fprintf(out, "  calibration vs %s: ece=%.4g disagreement=%.4g implied-error=%.4g (%d/%d labeled)\n",
+		c.Reference, c.ECE, c.Disagreement, c.ImpliedError, c.Labeled, c.Assertions)
+	if d := last.Drift; d != nil {
+		fmt.Fprintf(out, "  drift: %d source detector(s), max stat %.4g (source %d), dependent-fraction %.4g (stat %.4g)",
+			d.SourcesTracked, d.MaxStat, d.MaxStatSource, d.DependentFraction, d.DependentStat)
+		if d.EdgeRate >= 0 {
+			fmt.Fprintf(out, ", edge-rate %.4g (stat %.4g)", d.EdgeRate, d.EdgeStat)
+		}
+		fmt.Fprintln(out)
+	}
+	if b := last.Bound; b != nil {
+		verdict := "within bound"
+		if b.Exceeded {
+			verdict = "EXCEEDED"
+		}
+		fmt.Fprintf(out, "  bound@%d: bound=%.4g (stderr %.4g, %d sweeps) observed=%.4g ratio=%.4g: %s\n",
+			b.Tick, b.Bound, b.StdErr, b.Sweeps, b.Observed, b.Ratio, verdict)
+	}
+
+	byKind := map[string]int{}
+	for _, v := range verdicts {
+		for _, a := range v.Alarms {
+			byKind[a.Kind]++
+			fmt.Fprintf(out, "  ALARM %s tick=%d", a.Kind, a.Tick)
+			if a.Source >= 0 {
+				fmt.Fprintf(out, " source=%d", a.Source)
+			}
+			fmt.Fprintf(out, " stat=%.4g threshold=%.4g window[%d..]=%s", a.Stat, a.Threshold, a.StartTick, formatWindow(a.Window))
+			if a.TraceID != "" {
+				fmt.Fprintf(out, " trace=%s", a.TraceID)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if len(byKind) > 0 {
+		fmt.Fprint(out, "  alarms:")
+		for _, k := range mapsort.Keys(byKind) {
+			fmt.Fprintf(out, " %s=%d", k, byKind[k])
+		}
+		fmt.Fprintln(out)
+	}
+
+	if tailTicks > 0 {
+		tail := verdicts
+		if len(tail) > tailTicks {
+			fmt.Fprintf(out, "  ... %d earlier tick(s)\n", len(tail)-tailTicks)
+			tail = tail[len(tail)-tailTicks:]
+		}
+		for _, v := range tail {
+			fmt.Fprintf(out, "  tick %d: M=%d ece=%.4g disagreement=%.4g", v.Tick, v.Assertions, v.Calibration.ECE, v.Calibration.Disagreement)
+			if v.Drift != nil {
+				fmt.Fprintf(out, " maxStat=%.4g", v.Drift.MaxStat)
+			}
+			if len(v.Alarms) > 0 {
+				fmt.Fprintf(out, " alarms=%d", len(v.Alarms))
+			}
+			fmt.Fprintln(out)
+		}
+	}
+}
+
+// formatWindow renders an alarm's offending window compactly.
+func formatWindow(win []float64) string {
+	parts := make([]string, len(win))
+	for i, v := range win {
+		parts[i] = fmt.Sprintf("%.3g", v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

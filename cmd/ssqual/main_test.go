@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"depsense/internal/qual"
+)
+
+// writeSpill marshals verdicts into a quality.jsonl in a temp dir.
+func writeSpill(t *testing.T, verdicts []*qual.Verdict) string {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, v := range verdicts {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), qual.SpillFile)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func cleanVerdicts() []*qual.Verdict {
+	return []*qual.Verdict{
+		{
+			Tick: 0, Sources: 10, Assertions: 40, Claims: 160,
+			Calibration: qual.Calibration{Reference: "truth", Assertions: 40, Labeled: 30, ECE: 0.21, Disagreement: 0.30, ImpliedError: 0.12},
+			Drift:       &qual.DriftStatus{SourcesTracked: 10, MaxStat: 0.01, MaxStatSource: 3, DependentFraction: 0.2, EdgeRate: -1},
+		},
+		{
+			Tick: 1, Sources: 10, Assertions: 60, Claims: 320,
+			Calibration: qual.Calibration{Reference: "truth", Assertions: 60, Labeled: 48, ECE: 0.08, Disagreement: 0.10, ImpliedError: 0.07},
+			Drift:       &qual.DriftStatus{SourcesTracked: 10, MaxStat: 0.02, MaxStatSource: 5, DependentFraction: 0.22, EdgeRate: 0.4, EdgeStat: 0.01},
+			Bound:       &qual.BoundStatus{Tick: 1, Bound: 0.15, StdErr: 0.01, Sweeps: 200, Observed: 0.10, Ratio: 0.67},
+		},
+	}
+}
+
+func alarmedVerdicts() []*qual.Verdict {
+	vs := cleanVerdicts()
+	vs = append(vs, &qual.Verdict{
+		Tick: 2, Sources: 10, Assertions: 80, Claims: 480,
+		Calibration: qual.Calibration{Reference: "truth", Assertions: 80, Labeled: 64, ECE: 0.31, Disagreement: 0.25, ImpliedError: 0.08},
+		Drift:       &qual.DriftStatus{SourcesTracked: 10, MaxStat: 0.55, MaxStatSource: 7, DependentFraction: 0.24, EdgeRate: 0.4},
+		Bound:       &qual.BoundStatus{Tick: 2, Bound: 0.15, StdErr: 0.01, Sweeps: 200, Observed: 0.25, Ratio: 1.67, Exceeded: true},
+		Alarms: []qual.Alarm{{
+			Kind: qual.AlarmSourceReliability, Source: 7, Tick: 2,
+			Stat: 0.55, Threshold: 0.4, StartTick: 0,
+			Window:  []float64{0.8, 0.6, 0.3},
+			TraceID: "qual-source-reliability-7-2",
+		}},
+	})
+	return vs
+}
+
+func TestCleanSpillSummary(t *testing.T) {
+	path := writeSpill(t, cleanVerdicts())
+	var out bytes.Buffer
+	if err := run([]string{"-check", path}, &out); err != nil {
+		t.Fatalf("clean spill failed -check: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"2 verdict(s), ticks 0..1",
+		"calibration vs truth: ece=0.08",
+		"drift: 10 source detector(s)",
+		"edge-rate 0.4",
+		"bound@1: bound=0.15",
+		"within bound",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "ALARM") {
+		t.Errorf("clean spill printed an alarm:\n%s", s)
+	}
+}
+
+func TestAlarmedSpillCheckFails(t *testing.T) {
+	path := writeSpill(t, alarmedVerdicts())
+
+	// Without -check: report, no error.
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatalf("report mode errored: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"ALARM source-reliability tick=2 source=7 stat=0.55 threshold=0.4",
+		"window[0..]=[0.8 0.6 0.3]",
+		"trace=qual-source-reliability-7-2",
+		"alarms: source-reliability=1",
+		"EXCEEDED",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+
+	// With -check: both the alarm and the bound breach become problems.
+	err := run([]string{"-check", path}, &out)
+	if err == nil {
+		t.Fatal("-check passed an alarmed spill")
+	}
+	for _, want := range []string{"2 problem(s)", "source-reliability alarm at tick 2", "exceeds bound"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("check error misses %q: %v", want, err)
+		}
+	}
+}
+
+func TestECEGate(t *testing.T) {
+	path := writeSpill(t, cleanVerdicts())
+	var out bytes.Buffer
+	if err := run([]string{"-check", "-ece", "0.5", path}, &out); err != nil {
+		t.Fatalf("ece 0.08 failed gate 0.5: %v", err)
+	}
+	err := run([]string{"-check", "-ece", "0.05", path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "exceeds 0.05") {
+		t.Fatalf("ece 0.08 passed gate 0.05: %v", err)
+	}
+}
+
+func TestTicksTail(t *testing.T) {
+	path := writeSpill(t, alarmedVerdicts())
+	var out bytes.Buffer
+	if err := run([]string{"-ticks", "2", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "... 1 earlier tick(s)") {
+		t.Errorf("tail misses elision marker:\n%s", s)
+	}
+	if !strings.Contains(s, "tick 2: M=80") || strings.Contains(s, "tick 0: M=40") {
+		t.Errorf("tail window wrong:\n%s", s)
+	}
+}
+
+func TestUsageAndMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "absent.jsonl")}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

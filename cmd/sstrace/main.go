@@ -165,6 +165,8 @@ func printRun(out io.Writer, traceID string, run *trace.Run, d trace.RunDiag, rh
 			*problems = append(*problems,
 				fmt.Sprintf("trace %s run %s: split R-hat %.4g exceeds %.4g", traceID, d.Algorithm, d.RHat, rhatThreshold))
 		}
+	} else if d.RHatStatus != "" {
+		fmt.Fprintf(out, "    split R-hat unavailable: %s\n", d.RHatStatus)
 	}
 	if tailEvents > 0 {
 		evs := run.Events

@@ -31,7 +31,9 @@ var Deterministic = map[string]bool{
 	"depsense/internal/ingest":   true,
 	"depsense/internal/obs":      true,
 	"depsense/internal/trace":    true,
+	"depsense/internal/qual":     true,
 	"depsense/cmd/sstrace":       true,
+	"depsense/cmd/ssqual":        true,
 }
 
 // Estimator lists the packages that run open-ended iteration (EM rounds,
@@ -94,6 +96,8 @@ var Clocked = map[string]bool{
 	"depsense/internal/httpapi":    true,
 	"depsense/internal/serve":      true,
 	"depsense/internal/trace":      true,
+	"depsense/internal/qual":       true,
 	"depsense/cmd/sstrace":         true,
 	"depsense/cmd/ssingest":        true,
+	"depsense/cmd/ssqual":          true,
 }

@@ -373,3 +373,39 @@ func TestBenchParallelInjectedClock(t *testing.T) {
 		}
 	}
 }
+
+// TestBenchQualOverhead runs a tiny quality-overhead benchmark with a fixed
+// clock: the stamp comes from the injected clock, refits are observed, the
+// fit/monitor split is sane, and the 5% CI gate passes at smoke scale.
+func TestBenchQualOverhead(t *testing.T) {
+	fixed := time.Date(2016, 6, 27, 9, 30, 0, 0, time.UTC)
+	rep, err := BenchQual(Config{Seed: 11}, BenchQualOptions{
+		Scale: 20, Batch: 64, Reps: 1,
+		Clock: func() time.Time { return fixed },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GeneratedAt != "2016-06-27T09:30:00Z" {
+		t.Fatalf("GeneratedAt = %q, want the injected clock's stamp", rep.GeneratedAt)
+	}
+	if rep.Ticks == 0 || rep.Claims == 0 {
+		t.Fatalf("no refits observed: %+v", rep)
+	}
+	if rep.FitMillis <= 0 || rep.MonitorMillis <= 0 {
+		t.Fatalf("degenerate timing split: fit %v ms, monitor %v ms", rep.FitMillis, rep.MonitorMillis)
+	}
+	if ratio := rep.MonitorMillis / rep.FitMillis; math.Abs(rep.Overhead-ratio) > 1e-12 {
+		t.Fatalf("overhead %v does not match monitor/fit = %v", rep.Overhead, ratio)
+	}
+	// The strict 5% gate belongs to the dedicated benchqual CI step;
+	// under -race (which taxes the monitor and the fit unevenly) and with
+	// sibling tests on the same core, this sanity bound is deliberately
+	// loose.
+	if err := rep.Check(0.2); err != nil {
+		t.Fatalf("monitor overhead failed even the loose sanity bound: %v", err)
+	}
+	if err := (BenchQualReport{}).Check(0.05); err == nil {
+		t.Fatal("empty report passed Check")
+	}
+}

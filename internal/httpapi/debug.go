@@ -109,3 +109,15 @@ func (s *Server) handleRunByID(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, t)
 }
+
+// handleQuality serves GET /debug/quality: the estimation-quality report
+// (latest verdict + cumulative alarms) over computed factfind results. 503
+// before the first computed (non-cached) result.
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	rep := s.qual.Report()
+	if rep.Latest == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("no computed result observed yet"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

@@ -40,6 +40,7 @@ import (
 	"depsense/internal/baselines"
 	"depsense/internal/depgraph"
 	"depsense/internal/obs"
+	"depsense/internal/qual"
 	"depsense/internal/serve"
 	"depsense/internal/trace"
 	"depsense/internal/tweetjson"
@@ -109,6 +110,7 @@ type Server struct {
 	clock   func() time.Time
 	mw      *Middleware
 	flight  *trace.FlightRecorder
+	qual    *qual.Monitor
 	spillMu sync.Mutex // serializes appends to TraceDir/traces.jsonl
 
 	// The serving layer: results keyed by content hash, concurrent
@@ -150,6 +152,19 @@ func New(opts Options) *Server {
 	s := &Server{opts: opts, mux: http.NewServeMux(), reg: reg, log: log, clock: clock,
 		mw: NewMiddleware(reg, log, clock)}
 	s.flight = trace.NewFlightRecorder(opts.TraceBuffer, traceFailedRetention(opts.TraceBuffer))
+	// Estimation-quality monitoring (internal/qual), calibration-only:
+	// each request fits an unrelated dataset, so the drift detectors (which
+	// assume one evolving stream) and the amortized bound tracking are off;
+	// what remains — ECE, cross-estimator disagreement, posterior
+	// histograms — is meaningful per computation and cheap (one Voting
+	// pass). Ticks count computed (non-cached) factfind results.
+	s.qual = qual.NewMonitor(qual.Options{
+		DisableDrift: true,
+		BoundEvery:   -1,
+		Metrics:      reg,
+		Clock:        clock,
+		Flight:       s.flight,
+	})
 	cacheSize, cacheTTL := opts.CacheSize, opts.CacheTTL
 	if cacheSize == 0 {
 		cacheSize = DefaultCacheSize
@@ -169,6 +184,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/factfind", s.instrument("/v1/factfind", methodOnly(http.MethodPost, s.handleFactFind)))
 	s.mux.HandleFunc("/debug/runs", s.instrument("/debug/runs", methodOnly(http.MethodGet, s.handleRunsIndex)))
 	s.mux.HandleFunc("/debug/runs/{id}", s.instrument("/debug/runs/{id}", methodOnly(http.MethodGet, s.handleRunByID)))
+	s.mux.HandleFunc("/debug/quality", s.instrument("/debug/quality", methodOnly(http.MethodGet, s.handleQuality)))
 	if !opts.DisableMetrics {
 		s.mux.HandleFunc("/metrics", s.instrument("/metrics", methodOnly(http.MethodGet, reg.Handler().ServeHTTP)))
 	}

@@ -1,0 +1,76 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"depsense/internal/qual"
+)
+
+// TestDebugQualityEndpoint: the per-request service runs a calibration-only
+// monitor — 503 before the first computed result, a report with voting-mode
+// calibration after, and ticks that count computations, not cache replays.
+func TestDebugQualityEndpoint(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/debug/quality before any compute = %d, want 503", resp.StatusCode)
+	}
+
+	readReport := func() qual.Report {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/debug/quality")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/debug/quality = %d", resp.StatusCode)
+		}
+		var rep qual.Report
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	if resp, body := postJSON(t, ts.URL, sampleRequest()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("factfind = %d: %s", resp.StatusCode, body)
+	}
+	rep := readReport()
+	if rep.Ticks != 1 || rep.Latest == nil {
+		t.Fatalf("report after first compute = %+v", rep)
+	}
+	c := rep.Latest.Calibration
+	if c.Reference != "voting" || c.Assertions == 0 {
+		t.Fatalf("calibration = %+v, want voting reference over the computed assertions", c)
+	}
+	// Per-request datasets are unrelated streams: drift and bound stay off.
+	if rep.Latest.Drift != nil || rep.Latest.Bound != nil {
+		t.Fatalf("per-request verdict has drift/bound: %+v", rep.Latest)
+	}
+
+	// An identical request is served from the result cache and must NOT
+	// advance the monitor; a genuinely different request must.
+	if resp, body := postJSON(t, ts.URL, sampleRequest()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached factfind = %d: %s", resp.StatusCode, body)
+	}
+	if rep := readReport(); rep.Ticks != 1 {
+		t.Fatalf("ticks after cache replay = %d, want still 1", rep.Ticks)
+	}
+	req := sampleRequest()
+	req.Algorithm = "Sums"
+	if resp, body := postJSON(t, ts.URL, req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second factfind = %d: %s", resp.StatusCode, body)
+	}
+	if rep := readReport(); rep.Ticks != 2 {
+		t.Fatalf("ticks after second compute = %d, want 2", rep.Ticks)
+	}
+}

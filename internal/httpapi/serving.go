@@ -18,6 +18,7 @@ import (
 	"depsense/internal/baselines"
 	"depsense/internal/core"
 	"depsense/internal/obs"
+	"depsense/internal/qual"
 	"depsense/internal/runctx"
 	"depsense/internal/serve"
 	"depsense/internal/trace"
@@ -346,6 +347,12 @@ func (s *Server) computeResult(r *http.Request, req Request, algorithm string, t
 		}
 		return &servedResult{status: status, body: marshalBody(apiError{Error: err.Error(), TraceID: traceID})}
 	}
+
+	// Feed the estimation-quality monitor: calibration of this result's
+	// posteriors against the Voting baseline. Only genuine computations
+	// reach here (cache replays return earlier), so quality ticks count
+	// distinct fits. The spill-less monitor never errors.
+	_, _ = s.qual.ObserveRefit(ctx, qual.Refit{Result: out.Result, Dataset: out.Dataset, Edges: -1})
 
 	resp := Response{
 		Algorithm:  algorithm,

@@ -32,6 +32,7 @@ import (
 	"depsense/internal/cluster"
 	"depsense/internal/depgraph"
 	"depsense/internal/obs"
+	"depsense/internal/qual"
 	"depsense/internal/stream"
 	"depsense/internal/twittersim"
 )
@@ -200,6 +201,9 @@ type Published struct {
 	Iterations int  `json:"iterations"`
 	// Ranked is the top-K ranking, most credible first.
 	Ranked []RankedAssertion `json:"ranked"`
+	// Quality is the estimation-quality verdict for the refit behind this
+	// ranking (nil when quality monitoring is disabled).
+	Quality *qual.Verdict `json:"quality,omitempty"`
 	// UpdatedAtUnixNS is the publish timestamp (pipeline clock). It is
 	// operational metadata, not part of the determinism contract.
 	UpdatedAtUnixNS int64 `json:"updatedAtUnixNS"`
@@ -248,6 +252,16 @@ type Options struct {
 	// TraceDir, when set, appends every refit trace to
 	// TraceDir/traces.jsonl.
 	TraceDir string
+	// Quality, when set, attaches an estimation-quality monitor
+	// (internal/qual) to the estimator stage: every refit produces a
+	// verdict published alongside the ranking, surfaced on /statusz and
+	// /debug/quality, with alarm windows snapshotted into the flight
+	// recorder. The monitor's Metrics, Clock, and Flight are overridden by
+	// the pipeline's; its SpillDir defaults to TraceDir, so verdicts land
+	// in TraceDir/quality.jsonl next to the refit traces for cmd/ssqual.
+	// Verdict ticks are per-process: a warm restart replays committed
+	// batches through the monitor from tick zero.
+	Quality *qual.Options
 	// OnPublish, when set, is called synchronously with each published
 	// ranking (tests use it to observe batch boundaries).
 	OnPublish func(*Published)

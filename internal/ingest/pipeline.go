@@ -12,6 +12,7 @@ import (
 	"depsense/internal/cluster"
 	"depsense/internal/depgraph"
 	"depsense/internal/obs"
+	"depsense/internal/qual"
 	"depsense/internal/runctx"
 	"depsense/internal/stream"
 	"depsense/internal/trace"
@@ -27,6 +28,7 @@ type Pipeline struct {
 	clock  func() time.Time
 	flight *trace.FlightRecorder
 	source Source
+	qual   *qual.Monitor // nil when quality monitoring is disabled
 
 	// inc and texts are owned by the clusterer stage while Run is live (the
 	// estimator stage sees cluster state only via Batch.ClusterState);
@@ -73,6 +75,28 @@ func New(ctx context.Context, source Source, opts Options) (*Pipeline, error) {
 	streamOpts := o.Stream
 	streamOpts.Metrics = p.reg
 	streamOpts.Clock = p.clock
+	if o.Quality != nil {
+		qo := *o.Quality
+		qo.Metrics = p.reg
+		qo.Clock = p.clock
+		qo.Flight = p.flight
+		if qo.SpillDir == "" {
+			qo.SpillDir = o.TraceDir
+		}
+		p.qual = qual.NewMonitor(qo)
+		// The hook runs on the estimator stage's single goroutine (and on
+		// the recovery goroutine before Run), so verdict ticks follow
+		// commit order deterministically.
+		streamOpts.OnRefit = func(ctx context.Context, ev stream.RefitEvent) {
+			if _, err := p.qual.ObserveRefit(ctx, qual.Refit{
+				Result:  ev.Result,
+				Dataset: ev.Dataset,
+				Edges:   ev.Edges,
+			}); err != nil {
+				p.log.Error("quality spill failed", "err", err)
+			}
+		}
+	}
 	p.est = stream.New(streamOpts)
 	p.inc = o.Leader.Incremental()
 	p.lastClusterState = p.inc.State()
@@ -94,6 +118,9 @@ func (p *Pipeline) Metrics() *obs.Registry { return p.reg }
 
 // Flight returns the per-refit flight recorder backing /debug/runs.
 func (p *Pipeline) Flight() *trace.FlightRecorder { return p.flight }
+
+// Quality returns the estimation-quality monitor, nil when disabled.
+func (p *Pipeline) Quality() *qual.Monitor { return p.qual }
 
 // Run consumes the source until it is exhausted (returning nil, after a
 // final snapshot) or ctx is cancelled (returning the cancellation cause —
@@ -358,6 +385,11 @@ func (p *Pipeline) buildPublished(batchSeq int, converged bool, iterations int) 
 		Converged:       converged,
 		Iterations:      iterations,
 		UpdatedAtUnixNS: p.clock().UnixNano(),
+	}
+	if p.qual != nil {
+		// ObserveRefit ran synchronously inside the refit that produced
+		// this ranking, so Latest() is exactly that refit's verdict.
+		pub.Quality = p.qual.Latest()
 	}
 	res, err := p.est.Result()
 	if err != nil {

@@ -33,6 +33,7 @@ func NewServer(p *Pipeline) *Server {
 	s.mux.HandleFunc("/statusz", s.mw.Instrument("/statusz", s.handleStatusz))
 	s.mux.HandleFunc("/debug/runs", s.mw.Instrument("/debug/runs", s.handleRunsIndex))
 	s.mux.HandleFunc("/debug/runs/{id}", s.mw.Instrument("/debug/runs/{id}", s.handleRunByID))
+	s.mux.HandleFunc("/debug/quality", s.mw.Instrument("/debug/quality", s.handleQuality))
 	s.mux.HandleFunc("/metrics", s.mw.Instrument("/metrics", s.handleMetrics))
 	return s
 }
@@ -77,6 +78,10 @@ type Status struct {
 	// Published mirrors the latest ranking's header (nil before the
 	// first batch).
 	Published *Published `json:"published,omitempty"`
+	// QualityAlarms counts the quality alarms fired so far (-1 when quality
+	// monitoring is disabled); the latest verdict rides on
+	// Published.Quality and the full view on /debug/quality.
+	QualityAlarms int `json:"qualityAlarms"`
 }
 
 // QueueStatus is one bounded queue's pressure reading.
@@ -102,6 +107,10 @@ func (s *Server) status() Status {
 		Batches:            p.reg.Counter(MetricBatches, "").Value(),
 		SnapshotAgeSeconds: -1,
 		Published:          p.Published(),
+		QualityAlarms:      -1,
+	}
+	if p.qual != nil {
+		st.QualityAlarms = len(p.qual.Alarms())
 	}
 	if p.rawCh != nil {
 		st.Queues["raw"] = QueueStatus{Depth: len(p.rawCh), Capacity: cap(p.rawCh)}
@@ -133,6 +142,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	p.refreshSnapshotAge()
 	p.reg.Handler().ServeHTTP(w, r)
+}
+
+// handleQuality serves the estimation-quality report: the latest verdict
+// plus the cumulative alarm history. 404 when quality monitoring is
+// disabled, 503 before the first refit.
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpapi.WriteError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	m := s.p.Quality()
+	if m == nil {
+		httpapi.WriteError(w, http.StatusNotFound, errors.New("quality monitoring disabled"))
+		return
+	}
+	rep := m.Report()
+	if rep.Latest == nil {
+		httpapi.WriteError(w, http.StatusServiceUnavailable, errors.New("no refit observed yet"))
+		return
+	}
+	httpapi.WriteJSON(w, http.StatusOK, rep)
 }
 
 // handleRunsIndex serves the flight recorder's refit-trace index, newest

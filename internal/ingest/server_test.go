@@ -6,7 +6,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"depsense/internal/core"
 	"depsense/internal/httpapi"
@@ -149,5 +151,75 @@ func TestServerMetricsAndDebugRuns(t *testing.T) {
 	}
 	if miss := get(t, srv, "/debug/runs/nope"); miss.Code != http.StatusNotFound {
 		t.Fatalf("/debug/runs/nope = %d, want 404", miss.Code)
+	}
+}
+
+// TestServerStatuszSnapshotAgeClock pins the snapshot-age plumbing under an
+// injected clock: zero right after the run's final snapshot (the clock
+// never moved), the true staleness once time passes, and the same value
+// republished into the gauge by a /metrics scrape.
+func TestServerStatuszSnapshotAgeClock(t *testing.T) {
+	var nowNS atomic.Int64
+	nowNS.Store(time.Unix(1700000000, 0).UnixNano())
+	clock := func() time.Time { return time.Unix(0, nowNS.Load()) }
+
+	_, tweets := testTweets(t, 60, 7)
+	p, err := New(context.Background(), &SliceSource{Tweets: tweets}, Options{
+		Stream:          stream.Options{EM: core.Options{Seed: 5}},
+		BatchSize:       32,
+		DisableShedding: true,
+		Dir:             t.TempDir(),
+		SnapshotEvery:   2,
+		Clock:           clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(p)
+
+	// Before any snapshot: explicit -1, not a fabricated zero.
+	var st Status
+	if err := json.Unmarshal(get(t, srv, "/statusz").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotAgeSeconds != -1 {
+		t.Fatalf("snapshot age before any snapshot = %v, want -1", st.SnapshotAgeSeconds)
+	}
+
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The clock never advanced, so the final snapshot is zero seconds old.
+	if err := json.Unmarshal(get(t, srv, "/statusz").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotAgeSeconds != 0 {
+		t.Fatalf("snapshot age right after run = %v, want 0", st.SnapshotAgeSeconds)
+	}
+
+	// Time passes with no new snapshot: /statusz reports the staleness and
+	// a /metrics scrape republishes it into the gauge.
+	nowNS.Add(int64(42 * time.Second))
+	if err := json.Unmarshal(get(t, srv, "/statusz").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotAgeSeconds != 42 {
+		t.Fatalf("snapshot age 42s later = %v, want 42", st.SnapshotAgeSeconds)
+	}
+	if rec := get(t, srv, "/metrics"); rec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	if got := p.reg.Gauge(MetricSnapshotAge, "").Value(); got != 42 {
+		t.Fatalf("snapshot-age gauge after scrape = %v, want 42", got)
+	}
+
+	// A backwards clock jump clamps at zero instead of going negative.
+	nowNS.Add(-int64(time.Hour))
+	if err := json.Unmarshal(get(t, srv, "/statusz").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotAgeSeconds != 0 {
+		t.Fatalf("snapshot age after backwards jump = %v, want clamp to 0", st.SnapshotAgeSeconds)
 	}
 }

@@ -51,6 +51,23 @@ func (p SourceParams) PClaim(claimed, truth, dependent bool) float64 {
 	return 1 - on
 }
 
+// Reliability returns the paper's posterior source reliability
+//
+//	t_i = a_i z / (a_i z + b_i (1 − z)),
+//
+// the probability that an independent claim by this source is true under
+// prior z. Unlike the raw rate a_i — which scales with how often the
+// source tweets at all — t_i is scale-free, which makes it the right
+// per-source trajectory for drift detection (internal/qual). A degenerate
+// channel (both rates zero) returns 0.
+func (p SourceParams) Reliability(z float64) float64 {
+	den := p.A*z + p.B*(1-z)
+	if den <= 0 {
+		return 0
+	}
+	return p.A * z / den
+}
+
 // Clamp returns a copy with every probability forced into
 // [ProbEpsilon, 1-ProbEpsilon].
 func (p SourceParams) Clamp() SourceParams {

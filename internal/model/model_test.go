@@ -176,3 +176,30 @@ func TestParamsClampInPlace(t *testing.T) {
 		t.Fatalf("NaN clamp = %v, want 0.5", p.Sources[0].G)
 	}
 }
+
+func TestReliability(t *testing.T) {
+	// t_i = a z / (a z + b (1-z)) by direct computation.
+	p := SourceParams{A: 0.9, B: 0.2}
+	got := p.Reliability(0.5)
+	want := 0.9 * 0.5 / (0.9*0.5 + 0.2*0.5)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Reliability(0.5) = %v, want %v", got, want)
+	}
+	// A perfectly clean channel is fully reliable; a degenerate one is 0.
+	if r := (SourceParams{A: 0.4, B: 0}).Reliability(0.5); r != 1 {
+		t.Fatalf("b=0 reliability = %v, want 1", r)
+	}
+	if r := (SourceParams{}).Reliability(0.5); r != 0 {
+		t.Fatalf("degenerate reliability = %v, want 0", r)
+	}
+	// Scale-free: halving both rates (the source tweeting half as often)
+	// leaves t_i unchanged — the property that makes it the drift series.
+	q := SourceParams{A: p.A / 2, B: p.B / 2}
+	if math.Abs(q.Reliability(0.5)-got) > 1e-15 {
+		t.Fatalf("reliability not scale-free: %v vs %v", q.Reliability(0.5), got)
+	}
+	// Monotone in the prior.
+	if p.Reliability(0.9) <= p.Reliability(0.1) {
+		t.Fatal("reliability not monotone in z")
+	}
+}

@@ -43,17 +43,42 @@ func TestHistogramQuantile(t *testing.T) {
 }
 
 // TestHistogramQuantileOverflow: observations beyond the last bucket land
-// in the implicit +Inf bucket; a quantile falling there reports +Inf — the
-// conservative answer for budget checks.
+// in the implicit +Inf bucket; a quantile falling there SATURATES at the
+// last finite bucket bound instead of answering +Inf, so downstream
+// arithmetic (deadline ratios, Retry-After hints, quality gauges) stays
+// finite. It used to return +Inf, which leaked into duration math as
+// Inf-seconds.
 func TestHistogramQuantileOverflow(t *testing.T) {
 	r := NewRegistry()
-	h := r.Histogram("q_overflow_seconds", "", []float64{1})
+	h := r.Histogram("q_overflow_seconds", "", []float64{1, 2})
 	h.Observe(0.5)
 	h.Observe(100) // overflow
 	if got := h.Quantile(0.5); got != 1 {
 		t.Fatalf("p50 = %v, want 1", got)
 	}
-	if got := h.Quantile(1); !math.IsInf(got, 1) {
-		t.Fatalf("p100 = %v, want +Inf", got)
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("p100 = %v, want saturation at last finite bucket 2", got)
+	}
+	// All observations in overflow: every quantile saturates.
+	h2 := r.Histogram("q_overflow_all_seconds", "", []float64{1, 2})
+	h2.Observe(50)
+	h2.Observe(100)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h2.Quantile(q); got != 2 {
+			t.Fatalf("all-overflow Quantile(%v) = %v, want 2", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileEmpty: the empty histogram's behavior is part of
+// the contract — NaN for any q, forcing callers to handle "no data"
+// explicitly rather than receive a fabricated cost.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_empty_seconds", "", []float64{1, 2})
+	for _, q := range []float64{0, 0.5, 1, -3, 7} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Fatalf("empty Quantile(%v) = %v, want NaN", q, got)
+		}
 	}
 }

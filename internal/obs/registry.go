@@ -179,9 +179,16 @@ func (h *Histogram) Sum() float64 {
 // distribution from the bucket counts, returning the upper bound of the
 // bucket the quantile falls in — a deliberately conservative (never
 // underestimating) answer, which is what admission control wants when it
-// compares an observed p50 cost against a remaining deadline budget. It
-// returns NaN when the histogram has no observations and +Inf when the
-// quantile lies beyond the last finite bucket.
+// compares an observed p50 cost against a remaining deadline budget.
+//
+// Edge cases are defined, not incidental: an empty histogram (no
+// observations) returns NaN — callers must treat "no data" explicitly
+// rather than receive a fake cost — and a quantile landing in the implicit
+// overflow bucket returns the LAST FINITE bucket upper bound, saturating
+// instead of answering +Inf. The saturated answer is still a lower bound
+// on the true quantile, but it keeps downstream arithmetic (deadline
+// ratios, retry hints, quality gauges) finite; callers that must detect
+// saturation can compare against the last configured bucket bound.
 func (h *Histogram) Quantile(q float64) float64 {
 	if q < 0 {
 		q = 0
@@ -193,7 +200,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	count := h.s.count
 	counts := append([]uint64(nil), h.s.counts...)
 	h.s.mu.Unlock()
-	if count == 0 {
+	if count == 0 || len(h.buckets) == 0 {
 		return math.NaN()
 	}
 	// Rank of the quantile observation, 1-based: ceil(q * count), at least 1.
@@ -208,7 +215,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 			return h.buckets[i]
 		}
 	}
-	return math.Inf(1)
+	// The rank lies in the overflow bucket (observations beyond the last
+	// finite bound): saturate at the last finite bucket.
+	return h.buckets[len(h.buckets)-1]
 }
 
 // Counter returns the counter series for (name, labels), creating the

@@ -1,0 +1,118 @@
+package qual
+
+// Calibration is the windowed reliability diagram over one refit's
+// posterior assertion probabilities: assertions are binned by posterior
+// into fixed equal-width buckets and each bucket's mean predicted
+// probability is compared against the empirical frequency of
+// reference-true assertions in it. The reference is ground truth in
+// eval/simulation mode and the Voting baseline's decisions in live mode —
+// in the latter case "accuracy" reads as cross-estimator agreement, not
+// correctness, and a calibration break signals the estimators diverging.
+type Calibration struct {
+	// Reference names the label source: "truth" or "voting".
+	Reference string `json:"reference"`
+	// Assertions is the posterior count; Labeled how many had a reference
+	// label (with ground truth, opinions and unknown ids have none).
+	Assertions int `json:"assertions"`
+	Labeled    int `json:"labeled"`
+	// Buckets is the reliability diagram, fixed equal-width posterior bins.
+	Buckets []CalBucket `json:"buckets"`
+	// ECE is the expected calibration error: the label-count-weighted mean
+	// absolute gap between each bucket's mean posterior and its empirical
+	// true-fraction.
+	ECE float64 `json:"ece"`
+	// Disagreement is the fraction of labeled assertions whose thresholded
+	// decision contradicts the reference — with ground truth this is the
+	// empirical estimation error the paper's bound bounds.
+	Disagreement float64 `json:"disagreement"`
+	// ImpliedError is the posterior-implied Bayes error mean min(p, 1−p)
+	// over all assertions: the error the estimator believes it is making,
+	// no labels needed. ImpliedError far below Disagreement means the
+	// posteriors are overconfident.
+	ImpliedError float64 `json:"impliedError"`
+	// MeanPosterior is the mean posterior over all assertions.
+	MeanPosterior float64 `json:"meanPosterior"`
+}
+
+// CalBucket is one reliability-diagram bin over [Lo, Hi).
+type CalBucket struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// Count is the number of labeled assertions in the bin.
+	Count int `json:"count"`
+	// Confidence is the bin's mean posterior; Accuracy its fraction of
+	// reference-true assertions. Both are 0 when Count is 0.
+	Confidence float64 `json:"confidence"`
+	Accuracy   float64 `json:"accuracy"`
+}
+
+// computeCalibration bins posteriors against the label function, which
+// returns (label, ok); assertions with ok=false contribute to the
+// label-free statistics (ImpliedError, MeanPosterior) only.
+func computeCalibration(nbuckets int, posteriors []float64, label func(j int) (bool, bool), reference string) Calibration {
+	c := Calibration{
+		Reference:  reference,
+		Assertions: len(posteriors),
+		Buckets:    make([]CalBucket, nbuckets),
+	}
+	width := 1.0 / float64(nbuckets)
+	for b := range c.Buckets {
+		c.Buckets[b].Lo = float64(b) * width
+		c.Buckets[b].Hi = float64(b+1) * width
+	}
+	confSum := make([]float64, nbuckets)
+	trueCount := make([]int, nbuckets)
+	disagree := 0
+	for j, p := range posteriors {
+		c.ImpliedError += minProb(p)
+		c.MeanPosterior += p
+		lab, ok := label(j)
+		if !ok {
+			continue
+		}
+		c.Labeled++
+		b := int(p / width)
+		if b >= nbuckets {
+			b = nbuckets - 1 // p == 1.0 lands in the top bin
+		}
+		if b < 0 {
+			b = 0
+		}
+		c.Buckets[b].Count++
+		confSum[b] += p
+		if lab {
+			trueCount[b]++
+		}
+		if (p > decisionThreshold) != lab {
+			disagree++
+		}
+	}
+	if c.Assertions > 0 {
+		c.ImpliedError /= float64(c.Assertions)
+		c.MeanPosterior /= float64(c.Assertions)
+	}
+	if c.Labeled > 0 {
+		c.Disagreement = float64(disagree) / float64(c.Labeled)
+		for b := range c.Buckets {
+			n := c.Buckets[b].Count
+			if n == 0 {
+				continue
+			}
+			c.Buckets[b].Confidence = confSum[b] / float64(n)
+			c.Buckets[b].Accuracy = float64(trueCount[b]) / float64(n)
+			gap := c.Buckets[b].Confidence - c.Buckets[b].Accuracy
+			if gap < 0 {
+				gap = -gap
+			}
+			c.ECE += float64(n) / float64(c.Labeled) * gap
+		}
+	}
+	return c
+}
+
+func minProb(p float64) float64 {
+	if q := 1 - p; q < p {
+		return q
+	}
+	return p
+}

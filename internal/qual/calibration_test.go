@@ -1,0 +1,82 @@
+package qual
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestComputeCalibrationHandChecked(t *testing.T) {
+	// Four labeled posteriors in two of five buckets plus one unlabeled.
+	// Bucket [0.8, 1.0): p=0.9 twice, one true, one false -> conf 0.9, acc 0.5.
+	// Bucket [0.0, 0.2): p=0.1 twice, both false -> conf 0.1, acc 0.
+	posteriors := []float64{0.9, 0.9, 0.1, 0.1, 0.5}
+	labels := map[int]bool{0: true, 1: false, 2: false, 3: false}
+	label := func(j int) (bool, bool) { lab, ok := labels[j]; return lab, ok }
+
+	c := computeCalibration(5, posteriors, label, "truth")
+	if c.Reference != "truth" || c.Assertions != 5 || c.Labeled != 4 {
+		t.Fatalf("header = %+v", c)
+	}
+	// ECE = 2/4*|0.9-0.5| + 2/4*|0.1-0| = 0.2 + 0.05 = 0.25.
+	if !almost(c.ECE, 0.25) {
+		t.Fatalf("ECE = %v, want 0.25", c.ECE)
+	}
+	// Disagreement: j=1 (p=0.9 -> true, label false) only -> 1/4.
+	if !almost(c.Disagreement, 0.25) {
+		t.Fatalf("disagreement = %v, want 0.25", c.Disagreement)
+	}
+	// ImpliedError = mean min(p,1-p) over ALL five = (0.1+0.1+0.1+0.1+0.5)/5.
+	if !almost(c.ImpliedError, 0.18) {
+		t.Fatalf("impliedError = %v, want 0.18", c.ImpliedError)
+	}
+	if !almost(c.MeanPosterior, (0.9+0.9+0.1+0.1+0.5)/5) {
+		t.Fatalf("meanPosterior = %v", c.MeanPosterior)
+	}
+	if len(c.Buckets) != 5 {
+		t.Fatalf("buckets = %d, want 5", len(c.Buckets))
+	}
+	top := c.Buckets[4]
+	if top.Count != 2 || !almost(top.Confidence, 0.9) || !almost(top.Accuracy, 0.5) {
+		t.Fatalf("top bucket = %+v", top)
+	}
+	bottom := c.Buckets[0]
+	if bottom.Count != 2 || !almost(bottom.Confidence, 0.1) || bottom.Accuracy != 0 {
+		t.Fatalf("bottom bucket = %+v", bottom)
+	}
+	if mid := c.Buckets[2]; mid.Count != 0 || mid.Confidence != 0 || mid.Accuracy != 0 {
+		t.Fatalf("empty bucket = %+v", mid)
+	}
+}
+
+func TestComputeCalibrationEdges(t *testing.T) {
+	// p = 1.0 lands in the top bucket, not out of range; an empty input
+	// yields zeros, not NaNs.
+	c := computeCalibration(10, []float64{1.0}, func(int) (bool, bool) { return true, true }, "truth")
+	if c.Buckets[9].Count != 1 {
+		t.Fatalf("p=1.0 not in top bucket: %+v", c.Buckets)
+	}
+	if c.Disagreement != 0 {
+		t.Fatalf("p=1.0 true label disagreement = %v", c.Disagreement)
+	}
+
+	empty := computeCalibration(10, nil, func(int) (bool, bool) { return false, false }, "voting")
+	if empty.ECE != 0 || empty.ImpliedError != 0 || empty.MeanPosterior != 0 {
+		t.Fatalf("empty calibration = %+v", empty)
+	}
+	for _, b := range empty.Buckets {
+		if b.Count != 0 {
+			t.Fatalf("empty calibration bucket = %+v", b)
+		}
+	}
+
+	// All unlabeled: label-free statistics still computed.
+	c = computeCalibration(4, []float64{0.25, 0.75}, func(int) (bool, bool) { return false, false }, "voting")
+	if c.Labeled != 0 || c.ECE != 0 || c.Disagreement != 0 {
+		t.Fatalf("unlabeled calibration = %+v", c)
+	}
+	if !almost(c.ImpliedError, 0.25) {
+		t.Fatalf("unlabeled impliedError = %v, want 0.25", c.ImpliedError)
+	}
+}

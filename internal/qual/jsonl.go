@@ -1,0 +1,110 @@
+package qual
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"depsense/internal/runctx"
+)
+
+// The verdict JSONL codec mirrors internal/trace's: one compact JSON object
+// per line, struct field order fixed by the type definitions, every field
+// deterministic — the same refit sequence always spills the same bytes,
+// which is what lets tests diff quality spills across Workers values and
+// what cmd/ssqual consumes offline.
+
+// Write encodes verdicts as JSONL.
+func Write(w io.Writer, verdicts ...*Verdict) error {
+	for _, v := range verdicts {
+		if err := writeVerdict(w, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeVerdict(w io.Writer, v *Verdict) error {
+	line, err := Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(line); err != nil {
+		return err
+	}
+	_, err = w.Write([]byte{'\n'})
+	return err
+}
+
+// Marshal encodes one verdict as a single JSON line (no trailing newline).
+func Marshal(v *Verdict) ([]byte, error) {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("qual: encode verdict %d: %w", v.Tick, err)
+	}
+	return line, nil
+}
+
+// WriteFile writes verdicts as a JSONL file at path, replacing any
+// existing file (the monitor's SpillDir appends instead).
+func WriteFile(path string, verdicts ...*Verdict) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, verdicts...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile decodes a JSONL verdict spill.
+func ReadFile(path string) ([]*Verdict, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read decodes a JSONL stream of verdicts. Blank lines are skipped; a
+// malformed line fails the whole read with its line number, since a spill
+// with a corrupt record should be noticed, not silently truncated.
+func Read(r io.Reader) ([]*Verdict, error) {
+	var out []*Verdict
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		v := &Verdict{}
+		if err := json.Unmarshal(line, v); err != nil {
+			return nil, fmt.Errorf("qual: line %d: %w", lineNo, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("qual: read: %w", err)
+	}
+	return out, nil
+}
+
+// maxLineBytes bounds a single JSONL line (64 MiB), matching the trace
+// codec: a verdict holds a fixed bucket list and bounded alarm windows,
+// far below this, so hitting the limit indicates a corrupt file.
+const maxLineBytes = 64 << 20
+
+// alarmIteration renders one retained window observation as a runctx
+// iteration record for the alarm's flight-recorder snapshot.
+func alarmIteration(kind string, n int, x float64) runctx.Iteration {
+	return runctx.Iteration{Algorithm: kind, N: n, Value: x, HasValue: true}
+}

@@ -63,6 +63,25 @@ type Options struct {
 	// clock. Injected so the package honors the clocked-zone lint
 	// contract and fit durations are testable.
 	Clock func() time.Time
+	// OnRefit, when set, fires synchronously after every completed refit,
+	// once the new estimate is installed as the estimator's state — the
+	// attachment point for the estimation-quality monitor (internal/qual).
+	// It runs on the AddBatch caller's goroutine under the caller's
+	// context; a cancelled or failed refit does not fire it.
+	OnRefit func(ctx context.Context, ev RefitEvent)
+}
+
+// RefitEvent describes one completed refit to Options.OnRefit.
+type RefitEvent struct {
+	// Fit is the 0-based index of this refit; Warm whether it warm-started.
+	Fit  int
+	Warm bool
+	// Result and Dataset are the refit's estimate and the dataset behind
+	// it — the same values a subsequent Result()/Dataset() would return.
+	Result  *factfind.Result
+	Dataset *claims.Dataset
+	// Edges is the cumulative follow-edge count observed so far.
+	Edges int
 }
 
 // Estimator accumulates a claim stream and maintains truth estimates.
@@ -189,6 +208,15 @@ func (e *Estimator) AddBatchContext(ctx context.Context, batch []depgraph.Event)
 	e.last = res
 	e.lastDS = ds
 	e.fits++
+	if e.opts.OnRefit != nil {
+		e.opts.OnRefit(ctx, RefitEvent{
+			Fit:     e.fits - 1,
+			Warm:    warm,
+			Result:  res,
+			Dataset: ds,
+			Edges:   e.graph.NumEdges(),
+		})
+	}
 	return res, nil
 }
 

@@ -75,7 +75,24 @@ type RunDiag struct {
 	HasRHat bool    `json:"hasRHat,omitempty"`
 	RHat    float64 `json:"rhat,omitempty"`
 	Mixed   bool    `json:"mixed,omitempty"`
+	// RHatStatus explains an ABSENT R-hat for runs that did report Value
+	// trajectories: RHatInsufficientChains when only one chain reported
+	// values (a single chain cannot disagree with itself, so "mixed" would
+	// be vacuous), RHatInsufficientCheckpoints when the chains are too
+	// short to split (each half-chain needs two points). Empty when HasRHat
+	// is set or when the run reported no values at all (non-Gibbs runs).
+	RHatStatus string `json:"rhatStatus,omitempty"`
 }
+
+// RHatStatus values: why a Value-reporting run has no R-hat.
+const (
+	// RHatInsufficientChains marks a single-chain Gibbs run — the
+	// statistic needs at least two chains.
+	RHatInsufficientChains = "insufficient-chains"
+	// RHatInsufficientCheckpoints marks chains with fewer than four common
+	// checkpoints — too short to split into meaningful halves.
+	RHatInsufficientCheckpoints = "insufficient-checkpoints"
+)
 
 // Diagnose computes the convergence diagnostics for a finished trace. It is
 // called by Builder.Finish; exposed so offline tools (sstrace) can
@@ -100,10 +117,20 @@ func diagnoseRun(run *Run) RunDiag {
 	}
 	diagnoseLL(run, &rd)
 	diagnoseRestarts(run, &rd)
-	if rhat, ok := SplitRHat(ChainValues(run)); ok {
+	values := ChainValues(run)
+	if rhat, ok := SplitRHat(values); ok {
 		rd.HasRHat = true
 		rd.RHat = rhat
 		rd.Mixed = rhat <= RHatWarnThreshold
+	} else if len(values) > 0 {
+		// The run reported Value trajectories but they cannot support the
+		// statistic; say why instead of leaving a silently-absent R-hat
+		// that readers mistake for "nothing to diagnose".
+		if len(values) < 2 {
+			rd.RHatStatus = RHatInsufficientChains
+		} else {
+			rd.RHatStatus = RHatInsufficientCheckpoints
+		}
 	}
 	return rd
 }

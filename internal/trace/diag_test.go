@@ -202,3 +202,56 @@ func TestDiagnoseRHatFromChainValues(t *testing.T) {
 		t.Fatal("R-hat computed without Value trajectories")
 	}
 }
+
+// TestDiagnoseRHatInsufficient: a Value-reporting run that cannot support
+// split R-hat must say WHY instead of silently omitting the statistic — a
+// single-chain Gibbs run used to look identical to "nothing to diagnose",
+// and readers took the absent R-hat for a clean bill of mixing health.
+func TestDiagnoseRHatInsufficient(t *testing.T) {
+	// One chain, plenty of checkpoints: insufficient chains.
+	var its []runctx.Iteration
+	for n := 1; n <= 8; n++ {
+		its = append(its, chainIter("gibbs-bound", 0, n, 0.3+0.01*float64(n%3)))
+	}
+	d := finishWith(t, its...).Diagnostics.Runs[0]
+	if d.HasRHat {
+		t.Fatalf("single chain produced an R-hat: %+v", d)
+	}
+	if d.RHatStatus != RHatInsufficientChains {
+		t.Fatalf("single chain RHatStatus = %q, want %q", d.RHatStatus, RHatInsufficientChains)
+	}
+
+	// Two chains, three checkpoints each: halves of one point, too short.
+	its = nil
+	for c := 0; c < 2; c++ {
+		for n := 1; n <= 3; n++ {
+			its = append(its, chainIter("gibbs-bound", c, n, 0.3+0.1*float64(c)))
+		}
+	}
+	d = finishWith(t, its...).Diagnostics.Runs[0]
+	if d.HasRHat {
+		t.Fatalf("three-checkpoint chains produced an R-hat: %+v", d)
+	}
+	if d.RHatStatus != RHatInsufficientCheckpoints {
+		t.Fatalf("short chains RHatStatus = %q, want %q", d.RHatStatus, RHatInsufficientCheckpoints)
+	}
+
+	// No Value trajectories at all (EM runs): no status — nothing was
+	// expected to produce an R-hat.
+	d = finishWith(t, iter("EM-Ext", 1, -5), iter("EM-Ext", 2, -4)).Diagnostics.Runs[0]
+	if d.HasRHat || d.RHatStatus != "" {
+		t.Fatalf("LL-only run got RHatStatus %q, want empty", d.RHatStatus)
+	}
+
+	// A healthy multi-chain run carries an R-hat and no status.
+	its = nil
+	for c := 0; c < 2; c++ {
+		for n := 1; n <= 8; n++ {
+			its = append(its, chainIter("gibbs-bound", c, n, 0.3+0.001*float64((n+c)%3)))
+		}
+	}
+	d = finishWith(t, its...).Diagnostics.Runs[0]
+	if !d.HasRHat || d.RHatStatus != "" {
+		t.Fatalf("healthy run: HasRHat=%v RHatStatus=%q, want true and empty", d.HasRHat, d.RHatStatus)
+	}
+}

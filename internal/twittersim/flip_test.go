@@ -1,0 +1,92 @@
+package twittersim
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"depsense/internal/randutil"
+)
+
+// TestFlipPrefixUnchanged: the reliability flip leaves the generator
+// untouched before the flip point, so the flipped world's tweet stream is
+// identical to the unflipped world's up to FlipAtClaim — the drift the
+// quality monitor sees is purely a mid-stream behavior change, not a
+// different world.
+func TestFlipPrefixUnchanged(t *testing.T) {
+	base := Small("Ukraine", 30)
+	flip := base
+	flip.FlipAtClaim = 80
+	flip.FlipSources = 3
+	flip.FlipReliability = 0.0
+
+	wBase, err := Generate(base, randutil.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wFlip, err := Generate(flip, randutil.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wFlip.Tweets) != len(wBase.Tweets) {
+		t.Fatalf("flip changed stream length: %d vs %d", len(wFlip.Tweets), len(wBase.Tweets))
+	}
+	for i := 0; i < flip.FlipAtClaim; i++ {
+		if !reflect.DeepEqual(wBase.Tweets[i], wFlip.Tweets[i]) {
+			t.Fatalf("tweet %d differs before the flip point:\n%+v\n%+v", i, wBase.Tweets[i], wFlip.Tweets[i])
+		}
+	}
+	if reflect.DeepEqual(wBase.Tweets, wFlip.Tweets) {
+		t.Fatal("flip had no effect on the stream after the flip point")
+	}
+
+	if len(wFlip.FlippedSources) != flip.FlipSources {
+		t.Fatalf("FlippedSources = %v, want %d sources", wFlip.FlippedSources, flip.FlipSources)
+	}
+	if !sort.IntsAreSorted(wFlip.FlippedSources) {
+		t.Fatalf("FlippedSources not sorted: %v", wFlip.FlippedSources)
+	}
+	if wBase.FlippedSources != nil {
+		t.Fatalf("unflipped world has FlippedSources %v", wBase.FlippedSources)
+	}
+
+	// Same scenario and seed: fully deterministic.
+	again, err := Generate(flip, randutil.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Tweets, wFlip.Tweets) || !reflect.DeepEqual(again.FlippedSources, wFlip.FlippedSources) {
+		t.Fatal("flip generation is not deterministic for a fixed seed")
+	}
+}
+
+// TestFlipValidation: flip knobs are only checked when a flip is requested,
+// and bad values fail generation instead of silently misbehaving.
+func TestFlipValidation(t *testing.T) {
+	ok := Small("Ukraine", 60)
+	ok.FlipAtClaim = 10
+	if _, err := Generate(ok, randutil.New(1)); err != nil {
+		t.Fatalf("default flip knobs rejected: %v", err)
+	}
+
+	bad := Small("Ukraine", 60)
+	bad.FlipAtClaim = 10
+	bad.FlipReliability = 1.5
+	if _, err := Generate(bad, randutil.New(1)); err == nil {
+		t.Fatal("FlipReliability out of range accepted")
+	}
+
+	bad = Small("Ukraine", 60)
+	bad.FlipAtClaim = 10
+	bad.FlipSources = bad.Sources + 1
+	if _, err := Generate(bad, randutil.New(1)); err == nil {
+		t.Fatal("FlipSources > Sources accepted")
+	}
+
+	// No flip requested: the other knobs are ignored entirely.
+	off := Small("Ukraine", 60)
+	off.FlipReliability = 99
+	if _, err := Generate(off, randutil.New(1)); err != nil {
+		t.Fatalf("flip knobs validated without FlipAtClaim: %v", err)
+	}
+}

@@ -71,6 +71,10 @@ type World struct {
 	// SourceReliability[i] is the probability source i originates true
 	// facts.
 	SourceReliability []float64
+	// FlippedSources lists the source ids whose reliability flipped to
+	// Scenario.FlipReliability at claim Scenario.FlipAtClaim, ascending;
+	// empty when the flip injection is disabled.
+	FlippedSources []int
 	// ActiveSources is the number of sources that authored ≥ 1 tweet.
 	ActiveSources int
 }
@@ -97,6 +101,14 @@ func (s Scenario) validate() error {
 	for _, v := range [...]float64{s.RumorVirality, s.OpinionVirality, s.TrueReassert, s.FalseReassert} {
 		if v <= 0 {
 			return fmt.Errorf("%w: virality/re-assert weights must be positive", ErrBadScenario)
+		}
+	}
+	if s.FlipAtClaim > 0 {
+		if s.FlipReliability < 0 || s.FlipReliability > 1 {
+			return fmt.Errorf("%w: flip reliability %v outside [0,1]", ErrBadScenario, s.FlipReliability)
+		}
+		if s.FlipSources > s.Sources {
+			return fmt.Errorf("%w: flip sources %d > sources %d", ErrBadScenario, s.FlipSources, s.Sources)
 		}
 	}
 	return nil
@@ -148,6 +160,24 @@ func Generate(sc Scenario, rng *rand.Rand) (*World, error) {
 		mix := 0.35*rng.Float64() + 0.65*(1-rankFrac)
 		w.SourceReliability[src] = sc.ReliabilityLow + (sc.ReliabilityHigh-sc.ReliabilityLow)*mix
 	}
+	// Mid-stream drift injection: the flipped set is the earliest-activated
+	// sources — the prolific, reliable accounts whose compromise moves the
+	// fitted reliability trajectory the most. Membership is a permutation
+	// prefix, so checking it consumes no randomness.
+	var flipped []bool
+	if sc.FlipAtClaim > 0 {
+		n := sc.FlipSources
+		if n <= 0 {
+			n = 1
+		}
+		flipped = make([]bool, totalSources)
+		for _, src := range sourcePerm[:n] {
+			flipped[src] = true
+			w.FlippedSources = append(w.FlippedSources, src)
+		}
+		sort.Ints(w.FlippedSources)
+	}
+
 	zipf := randutil.NewZipfPicker(sc.Sources, sc.ActivitySkew)
 	nextFresh := 0
 	active := make([]int, 0, sc.Sources)
@@ -250,7 +280,23 @@ func Generate(sc Scenario, rng *rand.Rand) (*World, error) {
 
 		// Original tweet.
 		var assertion int
-		if len(w.Kinds) < sc.Assertions && (len(assertPool.ids) == 0 || rng.Float64() < newAssertionRate) {
+		if flipped != nil && id >= sc.FlipAtClaim && flipped[src] {
+			// Compromised account: fabricate a fresh assertion, true only
+			// with probability FlipReliability. Fabrications bypass the
+			// assertion budget and stay out of the re-assertion pool — a
+			// unique lie has no independent co-claimants, which is exactly
+			// the behavioral break the drift detectors watch for (claims on
+			// fringe assertions drag the fitted reliability down, whereas
+			// re-asserting consensus rumors would push it up). Retweet
+			// cascades on fabrications still happen via the tweet pool.
+			kind := KindFalse
+			if rng.Float64() < sc.FlipReliability {
+				kind = KindTrue
+			}
+			assertion = len(w.Kinds)
+			w.Kinds = append(w.Kinds, kind)
+			w.AssertionTokens = append(w.AssertionTokens, vocab.assertionText(rng, kind))
+		} else if len(w.Kinds) < sc.Assertions && (len(assertPool.ids) == 0 || rng.Float64() < newAssertionRate) {
 			kind := drawKind(src)
 			assertion = len(w.Kinds)
 			w.Kinds = append(w.Kinds, kind)

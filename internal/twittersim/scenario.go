@@ -75,6 +75,26 @@ type Scenario struct {
 	// SybilTargets is the number of rumors the bot network boosts
 	// (default 10 when Sybils > 0).
 	SybilTargets int
+
+	// FlipAtClaim, when > 0, injects mid-stream reliability drift: once the
+	// stream reaches that many claims, the FlipSources earliest-activated
+	// (most prolific) sources turn fabrication mill — every original tweet
+	// they post coins a fresh assertion that is true only with probability
+	// FlipReliability, a unique lie with no independent co-claimants — a
+	// compromised news desk, the regime change the drift detectors
+	// (internal/qual) are built to catch. Fabrications bypass the Assertions
+	// budget, so a flipped world carries more distinct assertions than its
+	// unflipped twin. The flipped stream is deterministic given the seed and
+	// identical to the unflipped one before the flip point.
+	// World.FlippedSources lists the flipped source ids. Zero disables the
+	// injection.
+	FlipAtClaim int
+	// FlipSources is the number of sources flipped (default 1 when
+	// FlipAtClaim > 0).
+	FlipSources int
+	// FlipReliability is the flipped sources' post-flip probability of
+	// originating truth, in [0, 1].
+	FlipReliability float64
 }
 
 // Presets returns the five scenarios scaled to Table III of the paper.
